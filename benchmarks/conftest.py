@@ -1,0 +1,19 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+SMALL experiment scale and prints the measured series next to the
+paper's reported values, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the EXPERIMENTS.md data source.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Figure 1 (virtualization overheads)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig01_virt_overheads import fig1a, fig1b, fig1c
+from repro.metrics.report import format_table
+
+
+def test_fig1a_virtual_overhead_per_benchmark(benchmark):
+    result = run_once(benchmark, fig1a, SMALL, (1, 2, 4))
+    rows = [
+        [bench, series[1], series[2], series[4]]
+        for bench, series in result.items()
+    ]
+    emit(
+        "Figure 1(a): % JCT increase over native (paper: I/O-bound 7-24%, CPU-bound <8%)",
+        format_table(["benchmark", "1-VM", "2-VM", "4-VM"], rows),
+    )
+    assert result["Sort"][2] > result["PiEst"][2]
+
+
+def test_fig1b_sort_jct_vs_data_size(benchmark):
+    result = run_once(benchmark, fig1b, SMALL)
+    rows = [
+        [f"{gb:g}GB", series[1], series[2], series[4]]
+        for gb, series in result.items()
+    ]
+    emit(
+        "Figure 1(b): Sort JCT (s) by VM density (paper: grows with size)",
+        format_table(["data", "1-VM", "2-VM", "4-VM"], rows),
+    )
+    sizes = sorted(result)
+    assert result[sizes[-1]][2] > result[sizes[0]][2]
+
+
+def test_fig1c_hdfs_virtual_vs_native(benchmark):
+    result = run_once(benchmark, fig1c, SMALL, (1.0, 2.0, 4.0, 8.0, 16.0))
+    rows = [
+        [f"{gb:g}GB", m["r_io"], m["w_io"], m["r_tput"], m["w_tput"]]
+        for gb, m in result.items()
+    ]
+    emit(
+        "Figure 1(c): HDFS virtual/native (paper: <1 and degrading with size)",
+        format_table(["data", "R-IO", "W-IO", "R-Tput", "W-Tput"], rows),
+    )
+    assert all(v < 1.0 for m in result.values() for v in m.values())

@@ -1,0 +1,66 @@
+"""Benchmarks regenerating Figure 2 (deployment effects)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig02_deployment import (
+    fig2a,
+    fig2b,
+    fig2c,
+    fig2d,
+    fig2d_mean_gain_pct,
+)
+from repro.metrics.report import format_table
+
+
+def test_fig2a_same_host_vs_cross_host(benchmark):
+    result = run_once(benchmark, fig2a, SMALL)
+    rows = [
+        [f"{gb:g}GB", series["same_host"], series["cross_host"]]
+        for gb, series in result.items()
+    ]
+    emit(
+        "Figure 2(a): Sort JCT (s), Same-Host vs Cross-Host "
+        "(paper: Same-Host wins; our disk model inverts the ordering -- "
+        "see EXPERIMENTS.md deviation notes; growth with size reproduces)",
+        format_table(["data", "same_host", "cross_host"], rows),
+    )
+    sizes = sorted(result)
+    for column in ("same_host", "cross_host"):
+        assert result[sizes[-1]][column] > result[sizes[0]][column]
+
+
+def test_fig2b_kmeans_gains_with_vm_density(benchmark):
+    result = run_once(benchmark, fig2b, SMALL)
+    rows = [
+        [f"{gb:g}GB", s["V1-1M-1R"], s["V2-2M-4R"], s["V4-4M-6R"]]
+        for gb, s in result.items()
+    ]
+    emit(
+        "Figure 2(b): Kmeans JCT normalized to V1 (paper: V2/V4 < 1, "
+        "more so at larger inputs)",
+        format_table(["data", "V1-1M-1R", "V2-2M-4R", "V4-4M-6R"], rows),
+    )
+    largest = max(result)
+    assert result[largest]["V2-2M-4R"] < 1.0
+
+
+def test_fig2c_dom0_near_native(benchmark):
+    result = run_once(benchmark, fig2c, SMALL)
+    rows = [[bench, value] for bench, value in result.items()]
+    emit(
+        "Figure 2(c): Dom-0 JCT / native (paper: within 5%)",
+        format_table(["benchmark", "dom0/native"], rows),
+    )
+    assert all(v <= 1.06 for v in result.values())
+
+
+def test_fig2d_split_vs_combined(benchmark):
+    result = run_once(benchmark, fig2d, SMALL)
+    rows = [[bench, value] for bench, value in result.items()]
+    emit(
+        f"Figure 2(d): split/combined JCT (paper: mean gain 12.8%; "
+        f"measured mean gain {fig2d_mean_gain_pct(result):.1f}%)",
+        format_table(["benchmark", "split/combined"], rows),
+    )
+    assert fig2d_mean_gain_pct(result) > 0

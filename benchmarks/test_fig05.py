@@ -1,0 +1,56 @@
+"""Benchmarks regenerating Figure 5 (JCT vs cluster/data size)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig05_profiling_curves import fig5a, fig5bc, fig5d, linearity_r2
+from repro.metrics.report import format_series, format_table
+
+
+def test_fig5a_jct_vs_cluster_size(benchmark):
+    result = run_once(
+        benchmark, fig5a, cluster_sizes=(4, 8, 16, 24, 32), data_gb=3.0
+    )
+    lines = [format_series(bench, series) for bench, series in result.items()]
+    emit(
+        "Figure 5(a): normalized JCT vs cluster size (paper: inverse relation)",
+        "\n".join(lines),
+    )
+    for series in result.values():
+        sizes = sorted(series)
+        assert series[sizes[-1]] < series[sizes[0]]
+
+
+def test_fig5bc_phase_times_vs_cluster_size(benchmark):
+    result = run_once(
+        benchmark, fig5bc, cluster_sizes=(2, 4, 8, 12), data_sizes_gb=(2.0, 4.0)
+    )
+    for phase in ("map", "reduce"):
+        rows = [
+            [f"{gb:g}GB"] + [result[phase][gb][n] for n in (2, 4, 8, 12)]
+            for gb in sorted(result[phase])
+        ]
+        emit(
+            f"Figure 5({'b' if phase == 'map' else 'c'}): Sort {phase}-phase "
+            "time (s) vs cluster size",
+            format_table(["data", "n=2", "n=4", "n=8", "n=12"], rows),
+        )
+    # map phase is inverse in cluster size (paper Fig 5(b))
+    for gb, series in result["map"].items():
+        assert series[12] < series[2]
+
+
+def test_fig5d_jct_linear_in_data_size(benchmark):
+    result = run_once(
+        benchmark, fig5d, data_sizes_gb=(2.0, 4.0, 6.0, 8.0), cluster_sizes=(2, 4, 8)
+    )
+    lines = [
+        format_series(f"C{n}", series) + f"  [R2={linearity_r2(series):.3f}]"
+        for n, series in result.items()
+    ]
+    emit(
+        "Figure 5(d): Sort JCT (s) vs data size per cluster "
+        "(paper: almost linear)",
+        "\n".join(lines),
+    )
+    for series in result.values():
+        assert linearity_r2(series) > 0.85  # the page-cache cliff kinks one series

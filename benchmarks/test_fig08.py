@@ -1,0 +1,77 @@
+"""Benchmarks regenerating Figure 8 (HybridMR's benefits)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig08_hybridmr_benefits import (
+    PAPER_FIG8B,
+    PAPER_FIG8C,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig8d,
+    summarize_reduction,
+)
+from repro.metrics.report import format_series, format_table
+
+
+def test_fig8a_phase1_vs_random_placement(benchmark):
+    result = run_once(benchmark, fig8a, SMALL)
+    rows = [
+        [mix, gains["transactional_gain"], gains["batch_gain"]]
+        for mix, gains in result.items()
+    ]
+    emit(
+        "Figure 8(a): Phase I performance gain over random placement "
+        "(paper: 0.05-0.45 depending on mix)",
+        format_table(["mix", "transactional", "batch"], rows),
+    )
+    assert all(g["batch_gain"] > 0 for g in result.values())
+    assert all(g["transactional_gain"] > 0 for g in result.values())
+
+
+def test_fig8b_single_job_drm_ablation(benchmark):
+    result = run_once(benchmark, fig8b, SMALL)
+    rows = [
+        [bench, r["cpu"], r["memory"], r["io"], r["cpu+memory+io"]]
+        for bench, r in result.items()
+    ]
+    avg, best = summarize_reduction(result, "cpu+memory+io")
+    emit(
+        f"Figure 8(b): single-job % JCT reduction -- measured avg "
+        f"{avg:.1f}% / max {best:.1f}% (paper: {PAPER_FIG8B['avg_pct']}% / "
+        f"{PAPER_FIG8B['max_pct']}%)",
+        format_table(["benchmark", "cpu", "memory", "io", "all"], rows),
+    )
+    assert best > 10.0
+
+
+def test_fig8c_concurrent_jobs_drm_ablation(benchmark):
+    result = run_once(benchmark, fig8c, SMALL)
+    rows = [
+        [bench, r["cpu"], r["memory"], r["io"], r["cpu+memory+io"]]
+        for bench, r in result.items()
+    ]
+    avg, best = summarize_reduction(result, "cpu+memory+io")
+    emit(
+        f"Figure 8(c): concurrent-jobs % JCT reduction -- measured avg "
+        f"{avg:.1f}% / max {best:.1f}% (paper: {PAPER_FIG8C['avg_pct']}% / "
+        f"{PAPER_FIG8C['max_pct']}%)",
+        format_table(["benchmark", "cpu", "memory", "io", "all"], rows),
+    )
+    assert avg > 15.0
+
+
+def test_fig8d_rubis_latency_curves(benchmark):
+    result = run_once(
+        benchmark, fig8d,
+        client_counts=(400, 1600, 3200, 4800, 6400), pms=6, horizon_s=200.0,
+    )
+    emit(
+        "Figure 8(d): RUBiS latency (ms) vs clients "
+        "(paper: HybridMR between isolated and RUBiS+MapReduce)",
+        "\n".join(format_series(k, v) for k, v in result.items()),
+    )
+    for clients in (1600, 3200, 4800):
+        assert result["isolated"][clients] <= result["hybridmr"][clients]
+        assert result["hybridmr"][clients] <= result["fifo"][clients]

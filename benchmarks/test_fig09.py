@@ -1,0 +1,63 @@
+"""Benchmarks regenerating Figure 9 (cross-platform comparison)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig09_cross_platform import fig9a, fig9b_9c
+from repro.metrics.report import format_table
+
+
+def test_fig9a_sla_breach_and_recovery(benchmark):
+    result = run_once(benchmark, fig9a)
+    trace = result["rubis_trace"]
+    before = [v for t, v in trace if t < 600]
+    during = [v for t, v in trace if 600 <= t <= 1200]
+    after = [v for t, v in trace if t > 1800]
+    emit(
+        "Figure 9(a): RUBiS latency timeline around the batch arrival "
+        "(paper: breach at ~12 min, recovery within bounds)",
+        format_table(
+            ["phase", "mean_ms", "max_ms"],
+            [
+                ["before-batch", sum(before) / len(before), max(before)],
+                ["during-batch", sum(during) / len(during), max(during)],
+                ["after-recovery", sum(after) / len(after), max(after)],
+            ],
+        )
+        + f"\nIPS actions: {len(result['ips_actions'])}, "
+        f"migrations: {len(result['migrations'])}",
+    )
+    sla = result["sla_ms"]
+    assert max(before) < sla
+    assert max(during) > sla  # the breach
+    assert sum(after) / len(after) < sla  # the recovery
+
+
+def test_fig9b_9c_cross_platform(benchmark):
+    result = run_once(benchmark, fig9b_9c, SMALL)
+    rows = [
+        [bench, d["native"], d["virtual"], d["hybridmr"]]
+        for bench, d in result["jct_normalized"].items()
+    ]
+    emit(
+        "Figure 9(b): JCT normalized to worst design "
+        "(paper: native best, virtual worst, HybridMR between)",
+        format_table(["benchmark", "native", "virtual", "hybridmr"], rows),
+    )
+    metric_rows = [
+        [m["design"], m["perf_per_energy"], m["energy"], m["servers"], m["utilization"]]
+        for m in result["metrics"]
+    ]
+    emit(
+        "Figure 9(c): normalized design metrics "
+        "(paper: HybridMR best Performance/Energy)",
+        format_table(
+            ["design", "perf/energy", "energy", "servers", "utilization"],
+            metric_rows,
+        ),
+    )
+    by_design = {r.design: r for r in result["reports"]}
+    assert by_design["hybridmr"].perf_per_energy >= by_design["native"].perf_per_energy
+    assert by_design["hybridmr"].perf_per_energy > by_design["virtual"].perf_per_energy
+    for bench, d in result["jct_normalized"].items():
+        assert d["virtual"] >= d["hybridmr"]

@@ -1,0 +1,53 @@
+"""Benchmarks regenerating Figure 10 (utilization + migration costs)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig10_migration import (
+    fig10a,
+    fig10a_means,
+    fig10bc,
+    migration_summary,
+)
+from repro.metrics.report import format_table
+
+
+def test_fig10a_utilization_boost(benchmark):
+    result = run_once(benchmark, fig10a, SMALL, 900.0)
+    means = fig10a_means(result)
+    rows = [
+        [config, m["cpu"], m["mem"], m["io"]] for config, m in means.items()
+    ]
+    emit(
+        "Figure 10(a): mean utilization, baseline vs HybridMR "
+        "(paper: HybridMR boosts CPU/memory/I-O utilization; abstract: +45%)",
+        format_table(["config", "cpu", "mem", "io"], rows),
+    )
+    for metric in ("cpu", "mem", "io"):
+        assert means["hybridmr"][metric] > means["baseline"][metric]
+
+
+def test_fig10bc_migration_time_and_downtime(benchmark):
+    result = run_once(benchmark, fig10bc, 12)
+    summary = migration_summary(result)
+    rows = [
+        [key, s["mean_migration_s"], s["max_migration_s"],
+         s["mean_downtime_ms"], s["max_downtime_ms"]]
+        for key, s in summary.items()
+    ]
+    emit(
+        "Figures 10(b)/(c): per-VM live migration (paper: time grows with "
+        "memory and load; downtime varies widely for busy VMs)",
+        format_table(
+            ["config", "mig_mean_s", "mig_max_s", "down_mean_ms", "down_max_ms"],
+            rows,
+        ),
+    )
+    assert (
+        summary["wcount-1GB"]["mean_migration_s"]
+        > summary["idle-1GB"]["mean_migration_s"]
+    )
+    assert (
+        summary["wcount-1GB"]["mean_downtime_ms"]
+        > 3 * summary["idle-1GB"]["mean_downtime_ms"]
+    )

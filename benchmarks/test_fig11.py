@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 11 (configuration trade-off sweep)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.fig11_tradeoff import best_and_worst, fig11
+from repro.metrics.report import format_table
+
+
+def test_fig11_configuration_sweep(benchmark):
+    results = run_once(benchmark, fig11, SMALL, None, 700.0)
+    rows = [
+        [r.label, r.n_native_pms, r.n_vms, r.servers,
+         r.mean_jct_s, r.perf_per_energy, r.utilization]
+        for r in results
+    ]
+    best, worst = best_and_worst(results)
+    emit(
+        f"Figure 11: Performance/Energy over hybrid configurations -- "
+        f"best {best.label} ({best.n_native_pms} PMs + {best.n_vms} VMs), "
+        f"worst {worst.label} ({worst.n_native_pms} PMs + {worst.n_vms} VMs). "
+        "(paper: a mixed config C7 best; a pure config C17 worst)",
+        format_table(
+            ["config", "native_pms", "vms", "servers", "mean_jct_s",
+             "perf_per_energy", "utilization"],
+            rows,
+        ),
+    )
+    # the paper's qualitative claim: some hybrid beats both pure extremes
+    pure = [r for r in results if r.n_vms == 0 or r.n_native_pms == 0]
+    mixed = [r for r in results if r.n_vms > 0 and r.n_native_pms > 0]
+    assert mixed and pure
+    assert max(m.perf_per_energy for m in mixed) > max(
+        p.perf_per_energy for p in pure
+    )

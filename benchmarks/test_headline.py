@@ -1,0 +1,24 @@
+"""Benchmark regenerating the abstract's headline numbers."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import SMALL
+from repro.experiments.headline import PAPER_HEADLINE, headline_numbers
+from repro.metrics.report import format_table
+
+
+def test_headline_numbers(benchmark):
+    measured = run_once(benchmark, headline_numbers, SMALL)
+    rows = [
+        [key, measured[key], PAPER_HEADLINE[key]]
+        for key in PAPER_HEADLINE
+    ]
+    emit(
+        "Headline claims (abstract): measured vs paper",
+        format_table(["claim", "measured_%", "paper_%"], rows),
+    )
+    # directionally: hybrid beats virtual on JCT, native on utilization
+    # and energy
+    assert measured["jct_improvement_vs_virtual_pct"] > 0
+    assert measured["utilization_gain_vs_native_pct"] > 0
+    assert measured["energy_savings_vs_native_pct"] > 0

@@ -1,0 +1,358 @@
+"""Command-line interface: run jobs, figures and profiling from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run Sort --cluster hybrid --pms 8 --input-gb 2
+    python -m repro figure fig1a --scale small
+    python -m repro figure headline
+    python -m repro profile Sort --sizes 1 2 3 --cluster-size 4
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.metrics.report import format_series, format_table
+
+
+# ----------------------------------------------------------------------
+# figure registry
+# ----------------------------------------------------------------------
+def _scale(name: str):
+    from repro.experiments import common
+
+    return {"small": common.SMALL, "medium": common.MEDIUM, "paper": common.PAPER}[name]
+
+
+def _fig1a(scale, seed):
+    from repro.experiments.fig01_virt_overheads import fig1a
+
+    result = fig1a(scale, seed=seed)
+    rows = [[b, s[1], s[2], s[4]] for b, s in result.items()]
+    return format_table(["benchmark", "1-VM", "2-VM", "4-VM"], rows,
+                        title="% JCT increase over native")
+
+
+def _fig1c(scale, seed):
+    from repro.experiments.fig01_virt_overheads import fig1c
+
+    result = fig1c(scale, seed=seed)
+    rows = [[f"{gb:g}GB", m["r_io"], m["w_io"], m["r_tput"], m["w_tput"]]
+            for gb, m in result.items()]
+    return format_table(["data", "R-IO", "W-IO", "R-Tput", "W-Tput"], rows,
+                        title="HDFS virtual/native")
+
+
+def _fig2d(scale, seed):
+    from repro.experiments.fig02_deployment import fig2d, fig2d_mean_gain_pct
+
+    result = fig2d(scale, seed=seed)
+    rows = [[b, v] for b, v in result.items()]
+    return format_table(
+        ["benchmark", "split/combined"], rows,
+        title=f"split architecture (mean gain {fig2d_mean_gain_pct(result):.1f}%)",
+    )
+
+
+def _fig8c(scale, seed):
+    from repro.experiments.fig08_hybridmr_benefits import fig8c, summarize_reduction
+
+    result = fig8c(scale, seed=seed)
+    rows = [[b, r["cpu"], r["memory"], r["io"], r["cpu+memory+io"]]
+            for b, r in result.items()]
+    avg, best = summarize_reduction(result, "cpu+memory+io")
+    return format_table(
+        ["benchmark", "cpu", "memory", "io", "all"], rows,
+        title=f"% JCT reduction, concurrent jobs (avg {avg:.1f}%, max {best:.1f}%)",
+    )
+
+
+def _fig9(scale, seed):
+    from repro.experiments.fig09_cross_platform import fig9b_9c
+
+    result = fig9b_9c(scale, seed=seed)
+    rows = [[m["design"], m["perf_per_energy"], m["energy"], m["servers"],
+             m["utilization"]] for m in result["metrics"]]
+    return format_table(
+        ["design", "perf/energy", "energy", "servers", "utilization"], rows,
+        title="cross-platform design metrics (max-normalized)",
+    )
+
+
+def _headline(scale, seed):
+    from repro.experiments.headline import PAPER_HEADLINE, headline_numbers
+
+    measured = headline_numbers(scale, seed=seed)
+    rows = [[k, measured[k], PAPER_HEADLINE[k]] for k in PAPER_HEADLINE]
+    return format_table(["claim", "measured_%", "paper_%"], rows,
+                        title="headline claims")
+
+
+def _fig2a(scale, seed):
+    from repro.experiments.fig02_deployment import fig2a
+
+    result = fig2a(scale, seed=seed)
+    rows = [[f"{gb:g}GB", s["same_host"], s["cross_host"]] for gb, s in result.items()]
+    return format_table(["data", "same_host", "cross_host"], rows,
+                        title="Sort JCT (s): Same-Host vs Cross-Host")
+
+
+def _fig2b(scale, seed):
+    from repro.experiments.fig02_deployment import fig2b
+
+    result = fig2b(scale, seed=seed)
+    rows = [[f"{gb:g}GB", s["V1-1M-1R"], s["V2-2M-4R"], s["V4-4M-6R"]]
+            for gb, s in result.items()]
+    return format_table(["data", "V1", "V2", "V4"], rows,
+                        title="Kmeans JCT normalized to V1")
+
+
+def _fig2c(scale, seed):
+    from repro.experiments.fig02_deployment import fig2c
+
+    result = fig2c(scale, seed=seed)
+    return format_table(["benchmark", "dom0/native"],
+                        [[b, v] for b, v in result.items()],
+                        title="Dom-0 vs native")
+
+
+def _fig5d(scale, seed):
+    from repro.experiments.fig05_profiling_curves import fig5d, linearity_r2
+
+    result = fig5d(seed=seed)
+    lines = [
+        format_series(f"C{n}", series) + f"  [R2={linearity_r2(series):.3f}]"
+        for n, series in result.items()
+    ]
+    return "Sort JCT (s) vs data size per cluster size\n" + "\n".join(lines)
+
+
+def _fig6a(scale, seed):
+    from repro.experiments.fig06_models import fig6a
+
+    result = fig6a()
+    return (
+        f"profiling error: mean {100 * result['mean_error']:.1f}% / "
+        f"std {100 * result['std_error']:.1f}% (paper: 10.8% / 9.7%)"
+    )
+
+
+def _fig6bc(scale, seed):
+    from repro.experiments.fig06_models import fig6b, fig6c
+
+    lines = ["CPU interference (normalized JCT):"]
+    lines += [f"  {format_series(k, v)}" for k, v in fig6b(seed=seed).items()]
+    lines.append("I/O interference (normalized JCT):")
+    lines += [f"  {format_series(k, v)}" for k, v in fig6c(seed=seed).items()]
+    return "\n".join(lines)
+
+
+def _fig8a(scale, seed):
+    from repro.experiments.fig08_hybridmr_benefits import fig8a
+
+    result = fig8a(scale)
+    rows = [[m, g["transactional_gain"], g["batch_gain"]] for m, g in result.items()]
+    return format_table(["mix", "transactional", "batch"], rows,
+                        title="Phase I gain over random placement")
+
+
+def _fig8b(scale, seed):
+    from repro.experiments.fig08_hybridmr_benefits import fig8b, summarize_reduction
+
+    result = fig8b(scale, seed=seed)
+    rows = [[b, r["cpu"], r["memory"], r["io"], r["cpu+memory+io"]]
+            for b, r in result.items()]
+    avg, best = summarize_reduction(result, "cpu+memory+io")
+    return format_table(["benchmark", "cpu", "memory", "io", "all"], rows,
+                        title=f"single-job %JCT reduction (avg {avg:.1f}%, max {best:.1f}%)")
+
+
+def _fig8d(scale, seed):
+    from repro.experiments.fig08_hybridmr_benefits import fig8d
+
+    result = fig8d(seed=seed)
+    return "RUBiS latency (ms) vs clients\n" + "\n".join(
+        format_series(k, v) for k, v in result.items()
+    )
+
+
+def _fig10(scale, seed):
+    from repro.experiments.fig10_migration import fig10bc, migration_summary
+
+    summary = migration_summary(fig10bc(seed=seed))
+    rows = [[k, s["mean_migration_s"], s["mean_downtime_ms"]]
+            for k, s in summary.items()]
+    return format_table(["config", "mean_migration_s", "mean_downtime_ms"], rows,
+                        title="live migration costs")
+
+
+def _fig11(scale, seed):
+    from repro.experiments.fig11_tradeoff import best_and_worst, fig11
+
+    results = fig11(scale, seed=seed)
+    rows = [[r.label, r.n_native_pms, r.n_vms, r.perf_per_energy] for r in results]
+    best, worst = best_and_worst(results)
+    return format_table(
+        ["config", "native_pms", "vms", "perf_per_energy"], rows,
+        title=f"configuration sweep (best {best.label}, worst {worst.label})",
+    )
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig1a": _fig1a,
+    "fig1c": _fig1c,
+    "fig2a": _fig2a,
+    "fig2b": _fig2b,
+    "fig2c": _fig2c,
+    "fig2d": _fig2d,
+    "fig5d": _fig5d,
+    "fig6a": _fig6a,
+    "fig6bc": _fig6bc,
+    "fig8a": _fig8a,
+    "fig8b": _fig8b,
+    "fig8c": _fig8c,
+    "fig8d": _fig8d,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "headline": _headline,
+}
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_list(args) -> int:
+    from repro.workloads.specs import ALL_BENCHMARKS, PAPER_INPUT_GB
+
+    print("benchmarks:")
+    for bench in ALL_BENCHMARKS:
+        print(
+            f"  {bench.name:9s} class={bench.resource_class:5s} "
+            f"paper input {PAPER_INPUT_GB[bench.name]:g} GB"
+        )
+    print("\nfigures (repro figure <id>):")
+    for fig in FIGURES:
+        print(f"  {fig}")
+    print("\nthe full per-figure harness lives in benchmarks/ "
+          "(pytest benchmarks/ --benchmark-only -s)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.mapreduce.cluster import MapReduceCluster
+    from repro.sim.engine import Simulator
+    from repro.workloads.specs import make_job
+
+    sim = Simulator(seed=args.seed)
+    if args.cluster == "native":
+        cluster = Cluster.native(sim, args.pms)
+        contexts = cluster.native_contexts()
+    elif args.cluster == "virtual":
+        cluster = Cluster.virtual(sim, args.pms, args.vms_per_pm)
+        contexts = list(cluster.vms)
+    else:
+        cluster = Cluster.hybrid(sim, args.pms // 2, args.pms - args.pms // 2,
+                                 args.vms_per_pm)
+        contexts = cluster.all_contexts()
+    mr = MapReduceCluster(sim, cluster.fabric, contexts)
+    meter = cluster.start_metering()
+    spec = make_job(args.benchmark, input_gb=args.input_gb,
+                    num_reducers=args.reducers)
+    job = mr.run_job(spec)
+    meter.stop()
+    print(
+        f"{args.benchmark} ({spec.input_gb:g} GB) on {args.cluster} "
+        f"({len(contexts)} nodes / {cluster.powered_servers()} servers)"
+    )
+    print(f"  JCT          {job.jct:10.1f} s")
+    print(f"  map phase    {job.map_phase_time:10.1f} s "
+          f"({len(job.map_tasks)} tasks)")
+    print(f"  reduce phase {job.reduce_phase_time:10.1f} s "
+          f"({len(job.reduce_tasks)} tasks)")
+    print(f"  energy       {meter.energy_kwh:10.4f} kWh")
+    print(f"  utilization  {cluster.mean_cpu_utilization():10.2f}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    if args.id not in FIGURES:
+        print(f"unknown figure {args.id!r}; choose from {', '.join(FIGURES)}",
+              file=sys.stderr)
+        return 2
+    print(FIGURES[args.id](_scale(args.scale), args.seed))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.profiling import JobProfiler
+
+    profiler = JobProfiler(repeats=args.repeats)
+    print(f"training {args.benchmark} on a {args.cluster_size}-node cluster:")
+    for gb in args.sizes:
+        native = profiler.profile(args.benchmark, gb, args.cluster_size, False)
+        virtual = profiler.profile(args.benchmark, gb, args.cluster_size, True)
+        print(f"  {gb:6.2f} GB  native {native.jct_s:8.1f} s   "
+              f"virtual {virtual.jct_s:8.1f} s")
+    if args.estimate:
+        for gb in args.estimate:
+            est = profiler.db.estimate(args.benchmark, True, args.cluster_size, gb)
+            print(f"estimate {gb:6.2f} GB virtual: {est.jct_s:8.1f} s "
+                  f"({est.method})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HybridMR reproduction: simulated hybrid data center "
+        "MapReduce scheduling (ICDCS 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and figures").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one benchmark job")
+    run.add_argument("benchmark", help="Twitter|Wcount|PiEst|DistGrep|Sort|Kmeans")
+    run.add_argument("--cluster", choices=("native", "virtual", "hybrid"),
+                     default="native")
+    run.add_argument("--pms", type=int, default=8)
+    run.add_argument("--vms-per-pm", type=int, default=2)
+    run.add_argument("--input-gb", type=float, default=2.0)
+    run.add_argument("--reducers", type=int, default=None)
+    run.add_argument("--seed", type=int, default=7)
+    run.set_defaults(func=cmd_run)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("id", help=", ".join(FIGURES))
+    fig.add_argument("--scale", choices=("small", "medium", "paper"),
+                     default="small")
+    fig.add_argument("--seed", type=int, default=7)
+    fig.set_defaults(func=cmd_figure)
+
+    prof = sub.add_parser("profile", help="train the Phase I profiler")
+    prof.add_argument("benchmark")
+    prof.add_argument("--sizes", type=float, nargs="+", default=[0.5, 1.0, 2.0])
+    prof.add_argument("--cluster-size", type=int, default=4)
+    prof.add_argument("--repeats", type=int, default=1)
+    prof.add_argument("--estimate", type=float, nargs="*", default=[1.5])
+    prof.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Physical cluster substrate: machines, resources, power, topology.
+
+The paper's testbed is 24 dual-core AMD Opteron servers (4 GB RAM,
+Ultra320 SCSI, 1 GbE).  :class:`~repro.cluster.machine.PhysicalMachine`
+models one such server as a bundle of fair-share pools (CPU, disk) plus
+a NIC registered with the cluster-wide :class:`~repro.sim.NetworkFabric`
+and a linear power model.
+"""
+
+from repro.cluster.resources import Resources, DEFAULT_PM_SPEC
+from repro.cluster.power import PowerModel, EnergyMeter
+from repro.cluster.machine import PhysicalMachine, ExecutionContext, NativeContext
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Resources",
+    "DEFAULT_PM_SPEC",
+    "PowerModel",
+    "EnergyMeter",
+    "PhysicalMachine",
+    "ExecutionContext",
+    "NativeContext",
+    "Cluster",
+]

@@ -1,0 +1,305 @@
+"""Physical machines and execution contexts.
+
+A :class:`PhysicalMachine` is a server: a CPU pool (cores), a disk pool
+(MB/s), a memory ledger, a NIC registered with the network fabric, and
+a power model.
+
+An :class:`ExecutionContext` is *where work runs*: directly on the
+machine (:class:`NativeContext`), in the Xen privileged domain
+(:class:`~repro.virt.vm.Dom0Context`), or inside a guest VM
+(:class:`~repro.virt.vm.VirtualMachine`).  MapReduce TaskTrackers,
+DataNodes and interactive services all execute against this interface,
+which is what lets the same Hadoop model run on native, Dom-0, virtual
+and hybrid clusters -- the comparison at the heart of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.cluster.power import PowerModel
+from repro.cluster.resources import DEFAULT_PM_SPEC, Resources
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.sim.pool import PoolEntry, ResourcePool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.vm import VirtualMachine
+
+
+class ExecutionContext:
+    """Base class for anything tasks can run on.
+
+    Subclasses define the efficiency model (virtualization overheads)
+    and capacity shares.  The base class tracks live pool entries so
+    that memory pressure and throttling changes can be propagated to
+    in-flight work, and keeps the memory ledger.
+    """
+
+    def __init__(self, name: str, pm: "PhysicalMachine", mem_capacity_mb: float) -> None:
+        self.name = name
+        self._pm = pm
+        self.mem_capacity_mb = mem_capacity_mb
+        self.mem_used_mb = 0.0
+        self._cpu_entries: List[PoolEntry] = []
+        self._disk_entries: List[PoolEntry] = []
+        self._memio_entries: List[PoolEntry] = []
+        #: per-entry sustained-I/O penalties, so refreshes can recompute
+        #: absolute efficiencies instead of ratcheting them down
+        self._disk_penalties: dict = {}
+
+    # -- identity -------------------------------------------------------
+    @property
+    def pm(self) -> "PhysicalMachine":
+        return self._pm
+
+    @property
+    def host(self) -> str:
+        """Network endpoint (the PM's NIC) for flows from this context."""
+        return self._pm.name
+
+    @property
+    def is_virtual(self) -> bool:
+        return False
+
+    # -- efficiency model (overridden by virtual contexts) ---------------
+    def cpu_efficiency(self) -> float:
+        return 1.0
+
+    def disk_efficiency(self) -> float:
+        return 1.0
+
+    def net_efficiency(self) -> float:
+        return 1.0
+
+    def cpu_cap_per_entry(self, requested_cap: float) -> float:
+        """Rate ceiling applied to a new CPU entry."""
+        return requested_cap
+
+    def disk_cap_per_entry(self, requested_cap: float) -> float:
+        return requested_cap
+
+    def cpu_weight_per_entry(self) -> float:
+        return 1.0
+
+    # -- memory ----------------------------------------------------------
+    def alloc_mem(self, mb: float) -> None:
+        """Reserve memory; over-commit is allowed but slows CPU work."""
+        if mb < 0:
+            raise ValueError("mb must be non-negative")
+        self.mem_used_mb += mb
+        self.refresh_entries()
+
+    def free_mem(self, mb: float) -> None:
+        if mb < 0:
+            raise ValueError("mb must be non-negative")
+        self.mem_used_mb = max(0.0, self.mem_used_mb - mb)
+        self.refresh_entries()
+
+    def memory_pressure_factor(self) -> float:
+        """Piece-wise linear slowdown from memory over-commit.
+
+        At or below capacity there is no penalty; past capacity the
+        penalty grows linearly (paging) down to a floor of 0.25.  This
+        is the piece-wise linear memory interference relation the paper
+        adopts from MROrchestrator [31].
+        """
+        if self.mem_capacity_mb <= 0:
+            return 1.0
+        ratio = self.mem_used_mb / self.mem_capacity_mb
+        if ratio <= 1.0:
+            return 1.0
+        return max(0.25, 1.0 - 0.6 * (ratio - 1.0))
+
+    @property
+    def mem_available_mb(self) -> float:
+        return max(0.0, self.mem_capacity_mb - self.mem_used_mb)
+
+    # -- running work -----------------------------------------------------
+    def run_cpu(
+        self,
+        core_seconds: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        weight: float = 1.0,
+        cap: float = 1.0,
+        label: str = "",
+    ) -> PoolEntry:
+        """Execute ``core_seconds`` of computation in this context.
+
+        ``cap`` bounds the entry's rate (a single-threaded task can use
+        at most 1 core regardless of idle capacity).
+        """
+        entry = self._pm.cpu_pool.add(
+            core_seconds,
+            on_complete=self._wrap_done(self._cpu_entries, on_complete),
+            weight=weight * self.cpu_weight_per_entry(),
+            cap=self.cpu_cap_per_entry(cap),
+            efficiency=self._combined_cpu_eff(),
+            label=label or f"{self.name}:cpu",
+        )
+        if not entry.done:
+            self._cpu_entries.append(entry)
+        return entry
+
+    def run_disk(
+        self,
+        mb: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        weight: float = 1.0,
+        cap: float = math.inf,
+        label: str = "",
+        efficiency_penalty: float = 0.0,
+        cached: bool = False,
+    ) -> PoolEntry:
+        """Read or write ``mb`` megabytes against the PM's disk.
+
+        ``efficiency_penalty`` lets callers model sustained-contention
+        degradation (large jobs keep many concurrent streams alive, and
+        the paper shows the virtual/native gap widening with data size).
+        ``cached`` routes the I/O through the page-cache pool instead of
+        the disk (the caller decides whether the working set fits).
+        """
+        if cached:
+            entry = self._pm.memio_pool.add(
+                mb,
+                on_complete=self._wrap_done(self._memio_entries, on_complete),
+                weight=weight,
+                efficiency=0.95 if self.is_virtual else 1.0,
+                label=label or f"{self.name}:memio",
+            )
+            if not entry.done:
+                self._memio_entries.append(entry)
+            return entry
+        eff = max(0.05, self.disk_efficiency() - efficiency_penalty)
+        entry = self._pm.disk_pool.add(
+            mb,
+            on_complete=self._wrap_done(self._disk_entries, on_complete),
+            weight=weight,
+            cap=self.disk_cap_per_entry(cap),
+            efficiency=eff,
+            label=label or f"{self.name}:disk",
+        )
+        if not entry.done:
+            self._disk_entries.append(entry)
+            self._disk_penalties[id(entry)] = efficiency_penalty
+        return entry
+
+    def _combined_cpu_eff(self) -> float:
+        return max(0.05, self.cpu_efficiency() * self.memory_pressure_factor())
+
+    def _wrap_done(
+        self,
+        registry: List[PoolEntry],
+        on_complete: Optional[Callable[[], None]],
+    ) -> Callable[[], None]:
+        def done() -> None:
+            registry[:] = [e for e in registry if not e.done]
+            if on_complete is not None:
+                on_complete()
+
+        return done
+
+    def refresh_entries(self) -> None:
+        """Re-apply efficiency/caps to in-flight work after a change."""
+        self._cpu_entries[:] = [e for e in self._cpu_entries if not e.done]
+        self._disk_entries[:] = [e for e in self._disk_entries if not e.done]
+        self._memio_entries[:] = [e for e in self._memio_entries if not e.done]
+        live = {id(e) for e in self._disk_entries}
+        self._disk_penalties = {
+            k: v for k, v in self._disk_penalties.items() if k in live
+        }
+        cpu_eff = self._combined_cpu_eff()
+        for entry in self._cpu_entries:
+            entry.set_efficiency(cpu_eff)
+        base_eff = self.disk_efficiency()
+        for entry in self._disk_entries:
+            penalty = self._disk_penalties.get(id(entry), 0.0)
+            entry.set_efficiency(max(0.05, base_eff - penalty))
+
+    @property
+    def active_cpu_entries(self) -> int:
+        self._cpu_entries[:] = [e for e in self._cpu_entries if not e.done]
+        return len(self._cpu_entries)
+
+    @property
+    def active_disk_entries(self) -> int:
+        self._disk_entries[:] = [e for e in self._disk_entries if not e.done]
+        return len(self._disk_entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r} on {self._pm.name!r})"
+
+
+class NativeContext(ExecutionContext):
+    """Work running directly on the physical machine (no hypervisor)."""
+
+
+class PhysicalMachine:
+    """One server of the testbed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        name: str,
+        spec: Resources = DEFAULT_PM_SPEC,
+        power_model: Optional[PowerModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.spec = spec
+        self.power_model = power_model or PowerModel()
+        self.cpu_pool = ResourcePool(sim, spec.cpu_cores, name=f"{name}:cpu")
+        self.disk_pool = ResourcePool(sim, spec.disk_mbps, name=f"{name}:disk")
+        #: OS page cache: I/O that fits in memory moves at memory-copy
+        #: speed through this pool instead of the disk (see
+        #: JobTracker.io_cached for the fit rule)
+        self.memio_pool = ResourcePool(sim, 400.0, name=f"{name}:memio")
+        #: page-cache budget available to workloads
+        self.cache_budget_mb = 0.5 * spec.mem_mb
+        self.powered_on = True
+        self.vms: List["VirtualMachine"] = []
+        if not fabric.has_host(name):
+            fabric.register_host(name, up_mbps=spec.net_mbps, down_mbps=spec.net_mbps)
+        self.native = NativeContext(f"{name}:native", self, spec.mem_mb)
+
+    # -- VM hosting -------------------------------------------------------
+    def attach_vm(self, vm: "VirtualMachine") -> None:
+        if vm in self.vms:
+            raise ValueError(f"{vm.name} already on {self.name}")
+        self.vms.append(vm)
+        self._density_changed()
+
+    def detach_vm(self, vm: "VirtualMachine") -> None:
+        self.vms.remove(vm)
+        self._density_changed()
+
+    def _density_changed(self) -> None:
+        for vm in self.vms:
+            vm.refresh_entries()
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    # -- power ------------------------------------------------------------
+    def power_off(self) -> None:
+        """Turn the server off (only valid when idle)."""
+        if self.cpu_pool.entries or self.disk_pool.entries or self.vms:
+            raise RuntimeError(f"cannot power off busy machine {self.name}")
+        self.powered_on = False
+
+    def power_on(self) -> None:
+        self.powered_on = True
+
+    def utilization(self) -> float:
+        """Blended utilization used for power (CPU-dominated)."""
+        return min(1.0, 0.7 * self.cpu_pool.utilization + 0.3 * self.disk_pool.utilization)
+
+    def current_power_watts(self) -> float:
+        return self.power_model.power(self.utilization(), self.powered_on)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhysicalMachine({self.name!r}, vms={len(self.vms)})"

@@ -1,0 +1,75 @@
+"""Resource capacity vectors.
+
+Units used throughout the reproduction:
+
+- CPU: cores (a rate of core-seconds per second).
+- Memory: MB (a space, not a rate).
+- Disk: MB/s of sequential bandwidth.
+- Network: MB/s per NIC direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resources:
+    """Capacity (or demand) along the four resource dimensions."""
+
+    cpu_cores: float = 0.0
+    mem_mb: float = 0.0
+    disk_mbps: float = 0.0
+    net_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu_cores", "mem_mb", "disk_mbps", "net_mbps"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.cpu_cores + other.cpu_cores,
+            self.mem_mb + other.mem_mb,
+            self.disk_mbps + other.disk_mbps,
+            self.net_mbps + other.net_mbps,
+        )
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(
+            max(0.0, self.cpu_cores - other.cpu_cores),
+            max(0.0, self.mem_mb - other.mem_mb),
+            max(0.0, self.disk_mbps - other.disk_mbps),
+            max(0.0, self.net_mbps - other.net_mbps),
+        )
+
+    def scaled(self, factor: float) -> "Resources":
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return Resources(
+            self.cpu_cores * factor,
+            self.mem_mb * factor,
+            self.disk_mbps * factor,
+            self.net_mbps * factor,
+        )
+
+    def fits_in(self, capacity: "Resources") -> bool:
+        """True if this demand fits inside ``capacity`` on every axis."""
+        return (
+            self.cpu_cores <= capacity.cpu_cores + 1e-9
+            and self.mem_mb <= capacity.mem_mb + 1e-9
+            and self.disk_mbps <= capacity.disk_mbps + 1e-9
+            and self.net_mbps <= capacity.net_mbps + 1e-9
+        )
+
+
+#: The paper's server: dual-core 2.4 GHz Opteron, 4 GB RAM, Ultra320
+#: SCSI (~75 MB/s sustained), 1 Gbps Ethernet (~119 MB/s).
+DEFAULT_PM_SPEC = Resources(
+    cpu_cores=2.0, mem_mb=4096.0, disk_mbps=75.0, net_mbps=119.0
+)
+
+#: The paper's VM flavour: 1 vCPU, 1 GB RAM.
+DEFAULT_VM_SPEC = Resources(
+    cpu_cores=1.0, mem_mb=1024.0, disk_mbps=75.0, net_mbps=119.0
+)

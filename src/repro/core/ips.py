@@ -1,0 +1,317 @@
+"""Phase II Interference Prevention System (Section III-B2).
+
+The IPS watches interactive services through the
+:class:`~repro.interactive.sla.SLAMonitor`.  When latency breaches the
+SLA, the Arbiter (Algorithm 3) mitigates:
+
+1. rank the map/reduce tasks collocated with the suffering service by
+   the DRM's interference estimate;
+2. escalate through an actuation ladder on the hosting VMs --
+   **throttle** (cgroups I/O limit + CPU cap), then **pause**, then
+   **live-migrate** the offending VM to the best-fit host (BestFit
+   bin-packing over spare capacity; Min-Min ordering so the
+   least-interfering work keeps running in place);
+3. once the service stays healthy for ``cooldown_polls`` consecutive
+   polls, de-escalate and return resources to the batch jobs.
+
+Pausing or migrating never breaks MapReduce correctness: stalled tasks
+simply look like stragglers and speculative execution re-runs them
+elsewhere if needed, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.cluster.machine import PhysicalMachine
+from repro.core.drm import DynamicResourceManager
+from repro.interactive.service import InteractiveService
+from repro.interactive.sla import SLAEvent, SLAMonitor
+from repro.mapreduce.jobtracker import JobTracker
+from repro.sim.engine import Simulator
+from repro.virt.migration import LiveMigration, MigrationRecord
+from repro.virt.throttle import CgroupController
+from repro.virt.vm import VirtualMachine
+
+
+@dataclass
+class ArbiterAction:
+    """Audit record of one mitigation step."""
+
+    time: float
+    service: str
+    action: str  # "throttle" | "pause" | "migrate" | "release"
+    vm_name: str
+    detail: str = ""
+
+
+class Arbiter:
+    """Placement heuristics of Algorithm 3.
+
+    BestFit is the paper's choice [12]; FirstFit and WorstFit are here
+    for the ablation DESIGN.md calls out (see benchmarks/test_ablations).
+    """
+
+    @staticmethod
+    def _feasible(
+        vm: VirtualMachine,
+        candidates: List[PhysicalMachine],
+        forbidden: Set[str],
+    ) -> List[tuple]:
+        """[(leftover_vcpu, pm)] for every host the VM fits on."""
+        out = []
+        for pm in candidates:
+            if pm.name in forbidden or pm is vm.pm or not pm.powered_on:
+                continue
+            used = sum(guest.spec.cpu_cores for guest in pm.vms)
+            left = pm.spec.cpu_cores - used - vm.spec.cpu_cores
+            if left < 0:
+                continue
+            out.append((left, pm))
+        return out
+
+    @staticmethod
+    def best_fit(
+        vm: VirtualMachine,
+        candidates: List[PhysicalMachine],
+        forbidden: Set[str],
+    ) -> Optional[PhysicalMachine]:
+        """BestFit bin-packing: the allowed host whose spare vCPU
+        capacity after placing ``vm`` is smallest but non-negative."""
+        feasible = Arbiter._feasible(vm, candidates, forbidden)
+        if not feasible:
+            return None
+        return min(feasible, key=lambda pair: (pair[0], pair[1].name))[1]
+
+    @staticmethod
+    def first_fit(
+        vm: VirtualMachine,
+        candidates: List[PhysicalMachine],
+        forbidden: Set[str],
+    ) -> Optional[PhysicalMachine]:
+        """FirstFit: the first allowed host the VM fits on."""
+        feasible = Arbiter._feasible(vm, candidates, forbidden)
+        return feasible[0][1] if feasible else None
+
+    @staticmethod
+    def worst_fit(
+        vm: VirtualMachine,
+        candidates: List[PhysicalMachine],
+        forbidden: Set[str],
+    ) -> Optional[PhysicalMachine]:
+        """WorstFit: the allowed host with the most leftover capacity."""
+        feasible = Arbiter._feasible(vm, candidates, forbidden)
+        if not feasible:
+            return None
+        return max(feasible, key=lambda pair: (pair[0], pair[1].name))[1]
+
+    HEURISTICS = {"best_fit": "best_fit", "first_fit": "first_fit", "worst_fit": "worst_fit"}
+
+    @classmethod
+    def place(
+        cls,
+        heuristic: str,
+        vm: VirtualMachine,
+        candidates: List[PhysicalMachine],
+        forbidden: Set[str],
+    ) -> Optional[PhysicalMachine]:
+        if heuristic not in cls.HEURISTICS:
+            raise ValueError(f"unknown placement heuristic {heuristic!r}")
+        return getattr(cls, heuristic)(vm, candidates, forbidden)
+
+    @staticmethod
+    def min_min_order(scored: List[tuple]) -> List[tuple]:
+        """Min-Min: handle the least-interfering entries first so the
+        cheapest mitigations are tried before drastic ones.
+
+        ``scored`` is ``[(score, item), ...]``; returns ascending."""
+        return sorted(scored, key=lambda pair: pair[0])
+
+
+class InterferencePreventionSystem:
+    """SLA guardian over one virtual cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: SLAMonitor,
+        drm: DynamicResourceManager,
+        jt: JobTracker,
+        pms: List[PhysicalMachine],
+        cgroups: Optional[CgroupController] = None,
+        throttle_io_mbps: float = 8.0,
+        throttle_cpu_fraction: float = 0.4,
+        cooldown_polls: int = 3,
+        max_migrations: int = 50,
+        datanode_payload: Optional[Callable[[VirtualMachine], float]] = None,
+        placement_heuristic: str = "best_fit",
+    ) -> None:
+        if placement_heuristic not in Arbiter.HEURISTICS:
+            raise ValueError(f"unknown placement heuristic {placement_heuristic!r}")
+        self.sim = sim
+        self.monitor = monitor
+        self.drm = drm
+        self.jt = jt
+        self.pms = list(pms)
+        self.cgroups = cgroups or CgroupController(sim)
+        self.throttle_io_mbps = throttle_io_mbps
+        self.throttle_cpu_fraction = throttle_cpu_fraction
+        self.cooldown_polls = cooldown_polls
+        self.max_migrations = max_migrations
+        self.datanode_payload = datanode_payload or (lambda vm: 0.0)
+        self.placement_heuristic = placement_heuristic
+        self.actions: List[ArbiterAction] = []
+        self.migrations: List[MigrationRecord] = []
+        self._throttled: Set[str] = set()
+        self._paused: Set[str] = set()
+        self._migrating: Set[str] = set()
+        self._healthy_polls: Dict[str, int] = {}
+        monitor.on_violation(self._on_violation)
+        self._cooldown_cancel = sim.call_every(monitor.poll_s, self._cooldown_tick)
+
+    def stop(self) -> None:
+        self._cooldown_cancel()
+
+    # ------------------------------------------------------------------
+    # batch-VM discovery
+    # ------------------------------------------------------------------
+    def _batch_vms_near(self, service: InteractiveService) -> List[VirtualMachine]:
+        service_vms = set(service.vms)
+        hosts = {vm.pm for vm in service.vms}
+        batch = []
+        for vm in self.drm.vms:
+            if vm in service_vms or vm.name in self._migrating:
+                continue
+            if vm.pm in hosts:
+                batch.append(vm)
+        return batch
+
+    def _vm_interference(self, vm: VirtualMachine) -> float:
+        attempts = self.jt.attempts_on_context(vm)
+        if not attempts:
+            # idle guests still hold memory but exert no rate pressure
+            return 0.0
+        return sum(self.drm.interference_score(a) for a in attempts)
+
+    # ------------------------------------------------------------------
+    # the mitigation ladder
+    # ------------------------------------------------------------------
+    def _on_violation(self, service: InteractiveService, event: SLAEvent) -> None:
+        self._healthy_polls[service.name] = 0
+        batch = self._batch_vms_near(service)
+        if not batch:
+            return
+        scored = Arbiter.min_min_order(
+            [(self._vm_interference(vm), vm) for vm in batch]
+        )
+        # the *most* interfering VM (last in Min-Min order) is mitigated;
+        # the least-interfering ones keep running in place
+        for score, vm in reversed(scored):
+            if vm.name not in self._throttled:
+                self.cgroups.set_io_limit(vm, self.throttle_io_mbps)
+                self.cgroups.set_cpu_limit(vm, self.throttle_cpu_fraction)
+                self._throttled.add(vm.name)
+                self.actions.append(
+                    ArbiterAction(
+                        self.sim.now, service.name, "throttle", vm.name,
+                        f"score={score:.3f} io<={self.throttle_io_mbps}MB/s",
+                    )
+                )
+                return
+        for score, vm in reversed(scored):
+            if vm.name not in self._paused:
+                self.cgroups.pause(vm)
+                self._paused.add(vm.name)
+                self.actions.append(
+                    ArbiterAction(
+                        self.sim.now, service.name, "pause", vm.name,
+                        f"score={score:.3f}",
+                    )
+                )
+                return
+        # everything nearby is already throttled and paused: migrate the
+        # most interfering VM away to the best-fit host
+        if len(self.migrations) + len(self._migrating) >= self.max_migrations:
+            return
+        forbidden = {vm.pm.name for vm in service.vms}
+        for score, vm in reversed(scored):
+            target = Arbiter.place(self.placement_heuristic, vm, self.pms, forbidden)
+            if target is None:
+                continue
+            self._begin_migration(service, vm, target, score)
+            return
+
+    def _begin_migration(
+        self,
+        service: InteractiveService,
+        vm: VirtualMachine,
+        target: PhysicalMachine,
+        score: float,
+    ) -> None:
+        self._migrating.add(vm.name)
+        if vm.paused:
+            # resume so pre-copy can converge; the throttle stays on
+            self.cgroups.resume(vm)
+            self._paused.discard(vm.name)
+
+        def finished(record: MigrationRecord) -> None:
+            self._migrating.discard(vm.name)
+            self.migrations.append(record)
+            # the VM is now on an unloaded host: release its limits
+            self._release(vm)
+
+        LiveMigration(
+            self.sim,
+            vm.pm.fabric,
+            vm,
+            target,
+            on_complete=finished,
+            extra_data_mb=self.datanode_payload(vm),
+        )
+        self.actions.append(
+            ArbiterAction(
+                self.sim.now, service.name, "migrate", vm.name,
+                f"score={score:.3f} -> {target.name}",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # de-escalation
+    # ------------------------------------------------------------------
+    def _cooldown_tick(self) -> None:
+        for service in self.monitor.services:
+            name = service.name
+            if service.sla_violated:
+                self._healthy_polls[name] = 0
+                continue
+            self._healthy_polls[name] = self._healthy_polls.get(name, 0) + 1
+            if self._healthy_polls[name] < self.cooldown_polls:
+                continue
+            # healthy long enough: release one restriction near this
+            # service per tick (gentle, so we do not re-trigger)
+            for vm in self._batch_vms_near(service):
+                if vm.name in self._paused:
+                    self.cgroups.resume(vm)
+                    self._paused.discard(vm.name)
+                    self.actions.append(
+                        ArbiterAction(self.sim.now, name, "release", vm.name, "resume")
+                    )
+                    self._healthy_polls[name] = 0
+                    return
+            for vm in self._batch_vms_near(service):
+                if vm.name in self._throttled:
+                    self._release(vm)
+                    self.actions.append(
+                        ArbiterAction(self.sim.now, name, "release", vm.name, "unthrottle")
+                    )
+                    self._healthy_polls[name] = 0
+                    return
+
+    def _release(self, vm: VirtualMachine) -> None:
+        self.cgroups.set_io_limit(vm, None)
+        self.cgroups.set_cpu_limit(vm, 1.0)
+        if vm.paused:
+            self.cgroups.resume(vm)
+        self._throttled.discard(vm.name)
+        self._paused.discard(vm.name)

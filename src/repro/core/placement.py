@@ -1,0 +1,114 @@
+"""Phase I placement (Algorithm 2).
+
+Transactional jobs always land on the virtual cluster (they are the
+tenants whose over-provisioned headroom HybridMR harvests).  A batch
+MapReduce job is profiled first; if its *estimated* JCT on the virtual
+cluster misses its desired completion time, it goes to the physical
+cluster, otherwise it joins the virtual cluster.  Jobs without a
+deadline fall back to the virtualization-overhead test: jobs whose
+estimated virtual/native slowdown exceeds ``overhead_threshold`` are
+deemed virtualization-hostile and kept native.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.profiling import JCTEstimate, ProfileDatabase
+from repro.mapreduce.job import JobSpec
+
+
+class Placement(enum.Enum):
+    PHYSICAL = "physical"
+    VIRTUAL = "virtual"
+
+
+@dataclass
+class PlacementDecision:
+    """Audit record of one Phase I decision."""
+
+    spec: JobSpec
+    placement: Placement
+    estimate_virtual: Optional[JCTEstimate]
+    estimate_native: Optional[JCTEstimate]
+    reason: str
+
+
+class PhaseOneScheduler:
+    """Steers initial placement between P_CLUSTER and V_CLUSTER."""
+
+    def __init__(
+        self,
+        db: ProfileDatabase,
+        physical_cluster_size: int,
+        virtual_cluster_size: int,
+        overhead_threshold: float = 0.15,
+    ) -> None:
+        if overhead_threshold < 0:
+            raise ValueError("overhead_threshold must be non-negative")
+        self.db = db
+        self.physical_cluster_size = physical_cluster_size
+        self.virtual_cluster_size = virtual_cluster_size
+        self.overhead_threshold = overhead_threshold
+        self.decisions: List[PlacementDecision] = []
+
+    def place_batch(self, spec: JobSpec) -> Placement:
+        """Algorithm 2, lines 4-11, for one batch job."""
+        benchmark = spec.profile.name
+        try:
+            est_virtual = self.db.estimate(
+                benchmark, True, self.virtual_cluster_size, spec.input_gb
+            )
+        except KeyError:
+            # no profile at all: the paper would train first; be
+            # conservative and use the physical cluster
+            decision = PlacementDecision(
+                spec, Placement.PHYSICAL, None, None, "unprofiled"
+            )
+            self.decisions.append(decision)
+            return decision.placement
+
+        if spec.desired_jct_s is not None:
+            if est_virtual.jct_s >= spec.desired_jct_s:
+                placement, reason = Placement.PHYSICAL, "deadline-miss-on-virtual"
+            else:
+                placement, reason = Placement.VIRTUAL, "deadline-met-on-virtual"
+            decision = PlacementDecision(spec, placement, est_virtual, None, reason)
+            self.decisions.append(decision)
+            return placement
+
+        # no deadline: classify by expected virtualization overhead
+        try:
+            est_native = self.db.estimate(
+                benchmark, False, self.physical_cluster_size, spec.input_gb
+            )
+        except KeyError:
+            decision = PlacementDecision(
+                spec, Placement.VIRTUAL, est_virtual, None, "no-native-profile"
+            )
+            self.decisions.append(decision)
+            return decision.placement
+        overhead = (
+            (est_virtual.jct_s - est_native.jct_s) / est_native.jct_s
+            if est_native.jct_s > 0
+            else 0.0
+        )
+        if overhead > self.overhead_threshold:
+            placement, reason = (
+                Placement.PHYSICAL,
+                f"virt-overhead {overhead:.0%} > {self.overhead_threshold:.0%}",
+            )
+        else:
+            placement, reason = (
+                Placement.VIRTUAL,
+                f"virt-overhead {overhead:.0%} acceptable",
+            )
+        decision = PlacementDecision(spec, placement, est_virtual, est_native, reason)
+        self.decisions.append(decision)
+        return placement
+
+    def place_transactional(self, name: str) -> Placement:
+        """Algorithm 2, line 2-3: interactive work is always virtual."""
+        return Placement.VIRTUAL

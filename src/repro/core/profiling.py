@@ -1,0 +1,275 @@
+"""Phase I job profiling (Algorithm 1).
+
+The profiler maintains a database of past executions: per (benchmark,
+cluster size, data size) it stores end-to-end, map-phase and
+reduce-phase completion times, averaged over repeated runs.  Estimation
+for an unseen configuration follows the paper's extrapolation rules:
+
+- exact match -> retrieve;
+- same cluster size, other data sizes -> *linear* extrapolation in data
+  size (Figure 5(d));
+- same data size, other cluster sizes -> separate map and reduce phase
+  extrapolation: the map phase follows an inverse relation to cluster
+  size (Figures 5(a), 5(b)) while the reduce phase is piece-wise
+  non-linear (Figure 5(c)), interpolated between neighbours;
+- neither matches -> data-size scaling composed with cluster-size
+  extrapolation from the nearest profiles.
+
+Training runs happen on a small dedicated cluster; in this reproduction
+:class:`JobProfiler` literally boots an isolated mini-simulation per
+training run, which mirrors "the job is initially started separately on
+a small training cluster" (Section III-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.interference.regression import fit_line
+from repro.mapreduce.job import JobSpec
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One averaged observation in the profile database."""
+
+    benchmark: str
+    virtual: bool
+    cluster_size: int
+    data_gb: float
+    jct_s: float
+    map_time_s: float
+    reduce_time_s: float
+
+
+@dataclass(frozen=True)
+class JCTEstimate:
+    """Estimation output with provenance for auditability."""
+
+    jct_s: float
+    map_time_s: float
+    reduce_time_s: float
+    method: str  # "exact" | "data-extrapolation" | "cluster-extrapolation" | "composed"
+
+
+class ProfileDatabase:
+    """The DBprofile of Algorithm 1."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, bool, int, float], List[ProfileRecord]] = {}
+
+    @staticmethod
+    def _key(benchmark: str, virtual: bool, cluster_size: int, data_gb: float):
+        return (benchmark, virtual, cluster_size, round(data_gb, 6))
+
+    def add(self, record: ProfileRecord) -> None:
+        key = self._key(
+            record.benchmark, record.virtual, record.cluster_size, record.data_gb
+        )
+        self._records.setdefault(key, []).append(record)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._records.values())
+
+    def _averaged(self, key) -> Optional[ProfileRecord]:
+        records = self._records.get(key)
+        if not records:
+            return None
+        n = len(records)
+        first = records[0]
+        return ProfileRecord(
+            benchmark=first.benchmark,
+            virtual=first.virtual,
+            cluster_size=first.cluster_size,
+            data_gb=first.data_gb,
+            jct_s=sum(r.jct_s for r in records) / n,
+            map_time_s=sum(r.map_time_s for r in records) / n,
+            reduce_time_s=sum(r.reduce_time_s for r in records) / n,
+        )
+
+    def lookup(
+        self, benchmark: str, virtual: bool, cluster_size: int, data_gb: float
+    ) -> Optional[ProfileRecord]:
+        """LOOKUP_CLUSTERSIZE & LOOKUP_DATASIZE combined: exact match."""
+        return self._averaged(self._key(benchmark, virtual, cluster_size, data_gb))
+
+    def records_for(
+        self, benchmark: str, virtual: bool
+    ) -> List[ProfileRecord]:
+        out = []
+        for key in self._records:
+            if key[0] == benchmark and key[1] == virtual:
+                averaged = self._averaged(key)
+                if averaged:
+                    out.append(averaged)
+        return sorted(out, key=lambda r: (r.cluster_size, r.data_gb))
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def estimate(
+        self, benchmark: str, virtual: bool, cluster_size: int, data_gb: float
+    ) -> JCTEstimate:
+        """Estimate the JCT for an arbitrary configuration."""
+        exact = self.lookup(benchmark, virtual, cluster_size, data_gb)
+        if exact is not None:
+            return JCTEstimate(
+                exact.jct_s, exact.map_time_s, exact.reduce_time_s, "exact"
+            )
+        records = self.records_for(benchmark, virtual)
+        if not records:
+            raise KeyError(
+                f"no profiles for {benchmark!r} (virtual={virtual}); "
+                "run training first"
+            )
+        same_cluster = [r for r in records if r.cluster_size == cluster_size]
+        if len(same_cluster) >= 2:
+            return self._extrapolate_data(same_cluster, data_gb)
+        same_data = [r for r in records if abs(r.data_gb - data_gb) < 1e-9]
+        if len(same_data) >= 2:
+            return self._extrapolate_cluster(same_data, cluster_size)
+        # composed: scale the nearest profile's data size linearly, then
+        # adjust for cluster size via the inverse-map / piece-wise rules
+        return self._composed(records, cluster_size, data_gb)
+
+    def _extrapolate_data(
+        self, records: List[ProfileRecord], data_gb: float
+    ) -> JCTEstimate:
+        """Linear in data size at fixed cluster size (Figure 5(d))."""
+        xs = [r.data_gb for r in records]
+        slope_j, icpt_j = fit_line(xs, [r.jct_s for r in records])
+        slope_m, icpt_m = fit_line(xs, [r.map_time_s for r in records])
+        slope_r, icpt_r = fit_line(xs, [r.reduce_time_s for r in records])
+        return JCTEstimate(
+            max(0.0, slope_j * data_gb + icpt_j),
+            max(0.0, slope_m * data_gb + icpt_m),
+            max(0.0, slope_r * data_gb + icpt_r),
+            "data-extrapolation",
+        )
+
+    def _extrapolate_cluster(
+        self, records: List[ProfileRecord], cluster_size: int
+    ) -> JCTEstimate:
+        """Separate map/reduce extrapolation over cluster size."""
+        # map phase ~ a / cluster + b (inverse relation, Figure 5(b))
+        inv = [1.0 / r.cluster_size for r in records]
+        slope_m, icpt_m = fit_line(inv, [r.map_time_s for r in records])
+        map_est = max(0.0, slope_m / cluster_size + icpt_m)
+        # reduce phase: piece-wise non-linear (Figure 5(c)); interpolate
+        # between the nearest profiled cluster sizes, clamp outside
+        reduce_est = self._interp_reduce(records, cluster_size)
+        return JCTEstimate(
+            map_est + reduce_est, map_est, reduce_est, "cluster-extrapolation"
+        )
+
+    @staticmethod
+    def _interp_reduce(records: List[ProfileRecord], cluster_size: int) -> float:
+        pts = sorted((r.cluster_size, r.reduce_time_s) for r in records)
+        if cluster_size <= pts[0][0]:
+            return pts[0][1]
+        if cluster_size >= pts[-1][0]:
+            return pts[-1][1]
+        for (c0, t0), (c1, t1) in zip(pts, pts[1:]):
+            if c0 <= cluster_size <= c1:
+                if c1 == c0:
+                    return t0
+                frac = (cluster_size - c0) / (c1 - c0)
+                return t0 + frac * (t1 - t0)
+        return pts[-1][1]  # pragma: no cover - unreachable
+
+    def _composed(
+        self, records: List[ProfileRecord], cluster_size: int, data_gb: float
+    ) -> JCTEstimate:
+        nearest = min(
+            records,
+            key=lambda r: (
+                abs(math.log(r.data_gb / data_gb)) if data_gb > 0 else 0.0,
+                abs(r.cluster_size - cluster_size),
+            ),
+        )
+        data_scale = data_gb / nearest.data_gb if nearest.data_gb > 0 else 1.0
+        map_t = nearest.map_time_s * data_scale
+        reduce_t = nearest.reduce_time_s * data_scale
+        # inverse-cluster adjustment for the map phase
+        cluster_scale = nearest.cluster_size / max(1, cluster_size)
+        map_t *= cluster_scale
+        # reduce phase scales more weakly with cluster size
+        reduce_t *= math.sqrt(cluster_scale)
+        return JCTEstimate(map_t + reduce_t, map_t, reduce_t, "composed")
+
+
+class JobProfiler:
+    """Builds the database from training runs on small clusters.
+
+    Each training run boots an isolated simulation of ``cluster_size``
+    nodes (native or virtual) and executes the benchmark at ``data_gb``,
+    exactly like the paper's dedicated training cluster.  Runs are
+    repeated ``repeats`` times with distinct seeds and averaged.
+    """
+
+    def __init__(self, repeats: int = 3, base_seed: int = 1000) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.repeats = repeats
+        self.base_seed = base_seed
+        self.db = ProfileDatabase()
+
+    def profile(
+        self,
+        benchmark: str,
+        data_gb: float,
+        cluster_size: int,
+        virtual: bool,
+        vms_per_pm: int = 2,
+    ) -> ProfileRecord:
+        """Run one training configuration and record it."""
+        from repro.cluster.cluster import Cluster
+        from repro.mapreduce.cluster import MapReduceCluster
+        from repro.sim.engine import Simulator
+        from repro.workloads.specs import make_job
+
+        jcts, maps, reduces = [], [], []
+        for i in range(self.repeats):
+            sim = Simulator(seed=self.base_seed + 7 * i)
+            if virtual:
+                n_pms = max(1, math.ceil(cluster_size / vms_per_pm))
+                cluster = Cluster.virtual(sim, n_pms, vms_per_pm)
+                contexts = cluster.vms[:cluster_size]
+            else:
+                cluster = Cluster.native(sim, cluster_size)
+                contexts = cluster.native_contexts()
+            mr = MapReduceCluster(sim, cluster.fabric, contexts)
+            spec = make_job(
+                benchmark, input_gb=data_gb, num_reducers=max(1, cluster_size)
+            )
+            job = mr.run_job(spec)
+            jcts.append(job.jct)
+            maps.append(job.map_phase_time)
+            reduces.append(job.reduce_phase_time)
+        record = ProfileRecord(
+            benchmark=benchmark,
+            virtual=virtual,
+            cluster_size=cluster_size,
+            data_gb=data_gb,
+            jct_s=sum(jcts) / len(jcts),
+            map_time_s=sum(maps) / len(maps),
+            reduce_time_s=sum(reduces) / len(reduces),
+        )
+        self.db.add(record)
+        return record
+
+    def train_grid(
+        self,
+        benchmark: str,
+        data_sizes_gb: List[float],
+        cluster_sizes: List[int],
+        virtual: bool,
+    ) -> List[ProfileRecord]:
+        """Profile the cross product of sizes (the paper's training set)."""
+        return [
+            self.profile(benchmark, gb, size, virtual)
+            for gb in data_sizes_gb
+            for size in cluster_sizes
+        ]

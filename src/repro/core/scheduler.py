@@ -1,0 +1,248 @@
+"""The HybridMR facade: Phase I placement + Phase II management.
+
+``HybridMRScheduler`` owns the two Hadoop deployments of a hybrid data
+center (one on the physical cluster, one on the virtual cluster that
+also hosts the interactive services), a Phase I scheduler fed by a
+profile database, and the Phase II machinery (DRM + SLA monitor + IPS)
+supervising the virtual side.
+
+Ablation switches in :class:`HybridMRConfig` drive the paper's
+experiments: Phase I on/off (Figure 8(a) compares against random/FCFS
+placement), the DRM's CPU/Memory/IO dimensions (Figures 8(b), 8(c)),
+and the IPS (Figures 8(d), 9(a)).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.machine import ExecutionContext, PhysicalMachine
+from repro.core.drm import DynamicResourceManager
+from repro.core.ips import InterferencePreventionSystem
+from repro.core.placement import PhaseOneScheduler, Placement
+from repro.core.profiling import ProfileDatabase
+from repro.interactive.service import InteractiveService
+from repro.interactive.sla import SLAMonitor
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.job import Job, JobSpec
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.virt.throttle import CgroupController
+from repro.virt.vm import VirtualMachine
+
+
+@dataclass
+class HybridMRConfig:
+    """Feature switches and tunables."""
+
+    phase1_enabled: bool = True
+    manage_cpu: bool = True
+    manage_memory: bool = True
+    manage_io: bool = True
+    ips_enabled: bool = True
+    #: feed every completed production job back into the profile DB
+    #: (the online-profiling extension the paper points at [12], [33])
+    online_profiling: bool = True
+    overhead_threshold: float = 0.15
+    drm_epoch_s: float = 10.0
+    sla_poll_s: float = 5.0
+    #: used by the random-placement baseline when phase1 is disabled
+    random_placement_seed: int = 99
+
+
+class HybridMRScheduler:
+    """2-phase hierarchical scheduler over a hybrid cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        native_contexts: Sequence[ExecutionContext],
+        batch_vms: Sequence[VirtualMachine],
+        pms: Sequence[PhysicalMachine],
+        services: Sequence[InteractiveService] = (),
+        profile_db: Optional[ProfileDatabase] = None,
+        config: Optional[HybridMRConfig] = None,
+        mr_kwargs: Optional[dict] = None,
+    ) -> None:
+        if not native_contexts and not batch_vms:
+            raise ValueError("need at least one execution context")
+        self.sim = sim
+        self.fabric = fabric
+        self.config = config or HybridMRConfig()
+        self.services = list(services)
+        self.pms = list(pms)
+        mr_kwargs = mr_kwargs or {}
+        self.native_mr: Optional[MapReduceCluster] = (
+            MapReduceCluster(sim, fabric, list(native_contexts), **mr_kwargs)
+            if native_contexts
+            else None
+        )
+        self.virtual_mr: Optional[MapReduceCluster] = (
+            MapReduceCluster(sim, fabric, list(batch_vms), **mr_kwargs)
+            if batch_vms
+            else None
+        )
+        self.phase1 = PhaseOneScheduler(
+            profile_db or ProfileDatabase(),
+            physical_cluster_size=len(native_contexts),
+            virtual_cluster_size=len(batch_vms),
+            overhead_threshold=self.config.overhead_threshold,
+        )
+        self._rng = random.Random(self.config.random_placement_seed)
+        self.cgroups = CgroupController(sim)
+        self.drm: Optional[DynamicResourceManager] = None
+        self.monitor: Optional[SLAMonitor] = None
+        self.ips: Optional[InterferencePreventionSystem] = None
+        if self.virtual_mr is not None:
+            self.drm = DynamicResourceManager(
+                sim,
+                self.virtual_mr.jt,
+                list(batch_vms),
+                manage_cpu=self.config.manage_cpu,
+                manage_memory=self.config.manage_memory,
+                manage_io=self.config.manage_io,
+                epoch_s=self.config.drm_epoch_s,
+            )
+            if self.services:
+                self.monitor = SLAMonitor(sim, self.services, self.config.sla_poll_s)
+                if self.config.ips_enabled:
+                    self.ips = InterferencePreventionSystem(
+                        sim,
+                        self.monitor,
+                        self.drm,
+                        self.virtual_mr.jt,
+                        self.pms,
+                        cgroups=self.cgroups,
+                        datanode_payload=self._datanode_payload,
+                    )
+        self.placements: Dict[int, Placement] = {}
+        self._started = False
+
+    def _datanode_payload(self, vm: VirtualMachine) -> float:
+        """Resident HDFS bytes a migrating VM must drag along."""
+        assert self.virtual_mr is not None
+        datanode = self.virtual_mr.fs.datanode_on_context(vm)
+        return datanode.used_mb if datanode is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("scheduler already started")
+        self._started = True
+        for service in self.services:
+            service.start()
+        if self.drm is not None and (
+            self.config.manage_cpu or self.config.manage_memory or self.config.manage_io
+        ):
+            self.drm.start()
+        if self.monitor is not None:
+            self.monitor.start()
+
+    def stop(self) -> None:
+        for service in self.services:
+            service.stop()
+        if self.drm is not None:
+            self.drm.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.ips is not None:
+            self.ips.stop()
+        if self.native_mr is not None:
+            self.native_mr.jt.shutdown()
+        if self.virtual_mr is not None:
+            self.virtual_mr.jt.shutdown()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        on_complete: Optional[Callable[[Job], None]] = None,
+    ) -> Tuple[Placement, Job]:
+        """Place (Phase I) and submit a batch job."""
+        placement = self._decide_placement(spec)
+        mr = self.native_mr if placement is Placement.PHYSICAL else self.virtual_mr
+        assert mr is not None
+
+        def finished(job: Job) -> None:
+            if self.config.online_profiling:
+                self._record_online_profile(job, placement, mr)
+            if on_complete is not None:
+                on_complete(job)
+
+        job = mr.submit(spec, finished)
+        self.placements[job.job_id] = placement
+        return placement, job
+
+    def _record_online_profile(
+        self, job: Job, placement: Placement, mr: MapReduceCluster
+    ) -> None:
+        """Feed a finished production run back into the profile DB.
+
+        Production JCTs include queueing and interference, so over time
+        the estimates converge to what jobs *actually* experience on
+        each side of the hybrid cluster -- tightening Algorithm 2's
+        decisions without dedicated training runs.
+        """
+        from repro.core.profiling import ProfileRecord
+
+        try:
+            self.phase1.db.add(
+                ProfileRecord(
+                    benchmark=job.spec.profile.name,
+                    virtual=placement is Placement.VIRTUAL,
+                    cluster_size=len(mr.trackers),
+                    data_gb=job.spec.input_gb,
+                    jct_s=job.jct,
+                    map_time_s=job.map_phase_time,
+                    reduce_time_s=job.reduce_phase_time,
+                )
+            )
+        except RuntimeError:
+            pass  # killed jobs carry no usable timings
+
+    def _decide_placement(self, spec: JobSpec) -> Placement:
+        if self.native_mr is None:
+            return Placement.VIRTUAL
+        if self.virtual_mr is None:
+            return Placement.PHYSICAL
+        if not self.config.phase1_enabled:
+            # baseline: random (first-come-first-served) placement
+            return (
+                Placement.PHYSICAL if self._rng.random() < 0.5 else Placement.VIRTUAL
+            )
+        try:
+            return self.phase1.place_batch(spec)
+        except KeyError:
+            return Placement.VIRTUAL
+
+    # ------------------------------------------------------------------
+    # convenience runner for experiments
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, specs: Sequence[JobSpec], timeout_s: float = 1e7
+    ) -> List[Job]:
+        """Submit all specs, run until every batch job completes."""
+        remaining = {"n": len(specs)}
+
+        def one_done(_job: Job) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self.sim.stop()
+
+        jobs = [self.submit(spec, on_complete=one_done)[1] for spec in specs]
+        if not jobs:
+            return []
+        self.sim.run(until=self.sim.now + timeout_s)
+        unfinished = [j for j in jobs if not j.done]
+        if unfinished:
+            names = ", ".join(j.spec.name for j in unfinished)
+            raise RuntimeError(f"batch jobs unfinished after {timeout_s}s: {names}")
+        return jobs

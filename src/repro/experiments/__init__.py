@@ -1,0 +1,23 @@
+"""Experiment reproductions: one module per paper figure.
+
+Every module exposes functions returning plain data (dicts/lists) with
+the same series the corresponding figure plots, plus the paper's
+reported values for comparison.  The benchmark harness under
+``benchmarks/`` and EXPERIMENTS.md are generated from these.
+
+Index (see DESIGN.md for the full table):
+
+- :mod:`repro.experiments.fig01_virt_overheads` -- Figures 1(a)-(c)
+- :mod:`repro.experiments.fig02_deployment` -- Figures 2(a)-(d)
+- :mod:`repro.experiments.fig05_profiling_curves` -- Figures 5(a)-(d)
+- :mod:`repro.experiments.fig06_models` -- Figures 6(a)-(c)
+- :mod:`repro.experiments.fig08_hybridmr_benefits` -- Figures 8(a)-(d)
+- :mod:`repro.experiments.fig09_cross_platform` -- Figures 9(a)-(c)
+- :mod:`repro.experiments.fig10_migration` -- Figures 10(a)-(c)
+- :mod:`repro.experiments.fig11_tradeoff` -- Figure 11
+- :mod:`repro.experiments.headline` -- the abstract's headline numbers
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,135 @@
+"""Figure 1: virtualization overheads on Hadoop performance.
+
+- **1(a)**: % increase in JCT on a virtual cluster vs an equivalent
+  physical one, per benchmark, at 1/2/4 VMs per PM.  Paper: I/O-bound
+  jobs 7-24% worse, CPU-bound within ~8%, growing with density.
+- **1(b)**: Sort JCT at 1/8/16 GB per VM density -- the absolute gap
+  widens with data size.
+- **1(c)**: HDFS read/write IO rate and throughput (TestDFSIO), virtual
+  normalized to native, degrading as data size grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.common import BENCH_NAMES, PAPER, Scale, pct_increase, run_single_job
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.testdfsio import TestDFSIO
+from repro.sim.engine import Simulator
+from repro.workloads.specs import PAPER_INPUT_GB
+
+#: reported ranges from the paper's text for Figure 1(a)
+PAPER_FIG1A = {
+    "io_bound_range_pct": (7.0, 24.0),
+    "cpu_bound_max_pct": 8.0,
+}
+
+
+def fig1a(
+    scale: Scale = PAPER,
+    densities: Sequence[int] = (1, 2, 4),
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Dict[str, Dict[int, float]]:
+    """% JCT increase over native, per benchmark and VM density."""
+    benchmarks = list(benchmarks or BENCH_NAMES)
+    out: Dict[str, Dict[int, float]] = {}
+    for bench in benchmarks:
+        gb = scale.input_gb(bench)
+        native = run_single_job(
+            "native", bench, gb, scale.pms, num_reducers=scale.pms, seed=seed
+        )
+        out[bench] = {}
+        for density in densities:
+            virtual = run_single_job(
+                "virtual",
+                bench,
+                gb,
+                scale.pms,
+                vms_per_pm=density,
+                num_reducers=scale.pms,
+                seed=seed,
+                density_scaled=True,
+            )
+            out[bench][density] = pct_increase(virtual.jct, native.jct)
+    return out
+
+
+def fig1b(
+    scale: Scale = PAPER,
+    sizes_gb: Sequence[float] = (1.0, 8.0, 16.0),
+    densities: Sequence[int] = (1, 2, 4),
+    seed: int = 7,
+) -> Dict[float, Dict[int, float]]:
+    """Sort JCT (seconds) by data size and VM density."""
+    out: Dict[float, Dict[int, float]] = {}
+    for gb in sizes_gb:
+        scaled = max(0.25, gb * scale.input_fraction)
+        out[gb] = {}
+        for density in densities:
+            job = run_single_job(
+                "virtual",
+                "Sort",
+                scaled,
+                scale.pms,
+                vms_per_pm=density,
+                num_reducers=scale.pms,
+                seed=seed,
+                density_scaled=True,
+            )
+            out[gb][density] = job.jct
+    return out
+
+
+def _dfsio_run(
+    virtual: bool, pms: int, vms_per_pm: int, total_mb: float, seed: int
+) -> Dict[str, float]:
+    sim = Simulator(seed=seed)
+    if virtual:
+        cluster = Cluster.virtual(sim, pms, vms_per_pm)
+        contexts = list(cluster.vms)
+    else:
+        cluster = Cluster.native(sim, pms)
+        contexts = cluster.native_contexts()
+    fs = HDFS(sim, cluster.fabric)
+    for ctx in contexts:
+        fs.add_datanode(ctx)
+    dfsio = TestDFSIO(sim, fs, contexts)
+    # one client task per node; the file count differs between setups
+    # (48 VMs vs 24 PMs, as in the paper) but total bytes match
+    file_mb = total_mb / len(contexts)
+    results = {}
+    dfsio.run_write(file_mb, lambda r: results.__setitem__("write", r))
+    sim.run()
+    dfsio.run_read(file_mb, lambda r: results.__setitem__("read", r))
+    sim.run()
+    return {
+        "r_io": results["read"].avg_io_rate_mbps,
+        "w_io": results["write"].avg_io_rate_mbps,
+        "r_tput": results["read"].throughput_mbps,
+        "w_tput": results["write"].throughput_mbps,
+    }
+
+
+def fig1c(
+    scale: Scale = PAPER,
+    sizes_gb: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    seed: int = 7,
+) -> Dict[float, Dict[str, float]]:
+    """TestDFSIO metrics on virtual, normalized to native, per size.
+
+    Each client reads/writes one file of ``size / n_clients`` so total
+    data equals the nominal size, as TestDFSIO does.
+    """
+    out: Dict[float, Dict[str, float]] = {}
+    for gb in sizes_gb:
+        total_mb = max(256.0, gb * 1024.0 * scale.input_fraction)
+        native = _dfsio_run(False, scale.pms, scale.vms_per_pm, total_mb, seed)
+        virtual = _dfsio_run(True, scale.pms, scale.vms_per_pm, total_mb, seed)
+        out[gb] = {
+            key: (virtual[key] / native[key]) if native[key] > 0 else 0.0
+            for key in native
+        }
+    return out

@@ -1,0 +1,138 @@
+"""Figure 2: deployment effects in a virtual Hadoop cluster.
+
+- **2(a)**: Same-Host (16 VMs packed on 2 PMs) vs Cross-Host (16 VMs
+  across 8 PMs) Sort JCT over data size.  Cross-Host loses despite
+  having 4x the cores because shuffle traffic crosses the network.
+- **2(b)**: CPU-bound Kmeans speeds up with more VMs per PM when slot
+  counts scale up (V1-1M-1R, V2-2M-4R, V4-4M-6R).
+- **2(c)**: Dom-0 execution is near native (<5% overhead).
+- **2(d)**: split compute/storage architecture beats combined by
+  ~12.8% on average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.common import BENCH_NAMES, PAPER, Scale, mean, run_single_job
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.sim.engine import Simulator
+from repro.workloads.specs import make_job
+
+PAPER_FIG2C_MAX_OVERHEAD = 0.05  # Dom-0 within 5% of native
+PAPER_FIG2D_MEAN_GAIN_PCT = 12.8
+
+
+def fig2a(
+    scale: Scale = PAPER,
+    sizes_gb: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    seed: int = 7,
+) -> Dict[float, Dict[str, float]]:
+    """Sort JCT for Same-Host vs Cross-Host 16-VM clusters."""
+    out: Dict[float, Dict[str, float]] = {}
+    for gb in sizes_gb:
+        scaled = max(0.25, gb * scale.input_fraction)
+        results = {}
+        for label, pms, vpp in (("same_host", 2, 8), ("cross_host", 8, 2)):
+            sim = Simulator(seed=seed)
+            cluster = Cluster.virtual(sim, pms, vpp)
+            mr = MapReduceCluster(sim, cluster.fabric, list(cluster.vms))
+            job = mr.run_job(
+                make_job("Sort", input_gb=scaled, num_reducers=8)
+            )
+            results[label] = job.jct
+        out[gb] = results
+    return out
+
+
+def fig2b(
+    scale: Scale = PAPER,
+    sizes_gb: Sequence[float] = (1.0, 4.0, 8.0),
+    seed: int = 7,
+) -> Dict[float, Dict[str, float]]:
+    """Kmeans JCT, normalized to V1, for scaled VM/slot configs.
+
+    V1-1M-1R: 1 VM/PM, 1 map + 1 reduce slot per VM;
+    V2-2M-4R: 2 VMs/PM, 2 map + 4 reduce slots spread over them;
+    V4-4M-6R: 4 VMs/PM, 4 map + 6 reduce slots.
+    More VMs expose more concurrent slots, which CPU-bound jobs convert
+    into speedup (opposite of the I/O-bound trend in Figure 1(a)).
+    """
+    configs = {
+        "V1-1M-1R": dict(vms_per_pm=1, map_slots=1, reduce_slots=1),
+        "V2-2M-4R": dict(vms_per_pm=2, map_slots=1, reduce_slots=2),
+        "V4-4M-6R": dict(vms_per_pm=4, map_slots=1, reduce_slots=2),
+    }
+    out: Dict[float, Dict[str, float]] = {}
+    for gb in sizes_gb:
+        scaled = max(0.25, gb * scale.input_fraction)
+        jcts = {}
+        for label, cfg in configs.items():
+            job = run_single_job(
+                "virtual",
+                "Kmeans",
+                scaled,
+                scale.pms,
+                vms_per_pm=cfg["vms_per_pm"],
+                map_slots=cfg["map_slots"],
+                reduce_slots=cfg["reduce_slots"],
+                num_reducers=scale.pms,
+                seed=seed,
+            )
+            jcts[label] = job.jct
+        base = jcts["V1-1M-1R"]
+        out[gb] = {label: jct / base for label, jct in jcts.items()}
+    return out
+
+
+def fig2c(
+    scale: Scale = PAPER,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Dom-0 JCT normalized to native, per benchmark (expect <= ~1.05)."""
+    benchmarks = list(benchmarks or BENCH_NAMES)
+    out: Dict[str, float] = {}
+    for bench in benchmarks:
+        gb = scale.input_gb(bench)
+        native = run_single_job(
+            "native", bench, gb, scale.pms, num_reducers=scale.pms, seed=seed
+        )
+        dom0 = run_single_job(
+            "native", bench, gb, scale.pms, num_reducers=scale.pms, seed=seed,
+            dom0=True,
+        )
+        out[bench] = dom0.jct / native.jct
+    return out
+
+
+def fig2d(
+    scale: Scale = PAPER,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Split-architecture JCT normalized to combined, per benchmark.
+
+    Both run on ``pms`` hosts with 2 VMs each; combined gives every VM
+    both roles, split dedicates one VM to compute and one to storage.
+    """
+    benchmarks = list(benchmarks or BENCH_NAMES)
+    out: Dict[str, float] = {}
+    for bench in benchmarks:
+        gb = scale.input_gb(bench)
+        combined = run_single_job(
+            "virtual", bench, gb, scale.pms, vms_per_pm=2,
+            num_reducers=scale.pms, seed=seed,
+        )
+        split = run_single_job(
+            "virtual", bench, gb, scale.pms, vms_per_pm=2,
+            num_reducers=scale.pms, seed=seed, split_storage=True,
+        )
+        out[bench] = split.jct / combined.jct
+    return out
+
+
+def fig2d_mean_gain_pct(normalized: Dict[str, float]) -> float:
+    """Average % improvement of split over combined."""
+    return mean([100.0 * (1.0 - v) for v in normalized.values()])

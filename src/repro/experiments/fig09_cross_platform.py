@@ -1,0 +1,259 @@
+"""Figure 9: cross-platform comparison (Native vs Virtual vs HybridMR).
+
+The paper's three design points over an N-node budget:
+
+- **Native**: N physical nodes (paper: 24 PMs);
+- **Virtual**: N VMs consolidated at 2/PM (paper: 24 VMs on 12 PMs);
+- **HybridMR**: N/2 physical + N/2 VMs on N/4 PMs (paper: 12 + 12 on 6,
+  i.e. 18 powered servers).
+
+Interactive services occupy 1/4 of the nodes' capacity in every design
+(over-provisioned for their bursty peak); MapReduce runs on the rest.
+
+- **9(a)**: response-time timeline of RUBiS and TPC-W collocated with
+  batch jobs -- the SLA breach and the IPS-driven recovery;
+- **9(b)**: per-benchmark JCT normalized to the worst design;
+- **9(c)**: Performance/Energy, Energy, #Servers and Utilization,
+  max-normalized across the designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.drm import DynamicResourceManager
+from repro.core.ips import InterferencePreventionSystem
+from repro.core.scheduler import HybridMRConfig, HybridMRScheduler
+from repro.experiments.common import BENCH_NAMES, SMALL, Scale, mean
+from repro.interactive.loadgen import ConstantLoad, StepLoad
+from repro.interactive.service import RUBIS, TPCW, InteractiveService
+from repro.interactive.sla import SLAMonitor
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.metrics.energy import EnergyReport
+from repro.sim.engine import Simulator
+from repro.workloads.specs import make_job
+
+DESIGNS = ("native", "virtual", "hybridmr")
+
+
+def _specs(scale: Scale, benchmarks: Sequence[str], reducers: int):
+    return [
+        make_job(b, input_gb=scale.input_gb(b), num_reducers=reducers,
+                 name=b.lower())
+        for b in benchmarks
+    ]
+
+
+def _run_design(
+    design: str,
+    scale: Scale,
+    benchmarks: Sequence[str],
+    clients_per_service_node: int,
+    seed: int,
+) -> Tuple[Dict[str, float], EnergyReport]:
+    """Run the benchmark set on one design; returns JCTs + energy report.
+
+    The interactive tier is provisioned for ``n // 2`` nodes' worth of
+    peak capacity (the paper's over-provisioned transactional services);
+    its average demand is far below peak -- the headroom HybridMR
+    consolidates batch work into.
+    """
+    n = scale.pms  # node budget
+    service_nodes = max(1, n // 2)
+    sim = Simulator(seed=seed)
+    services: List[InteractiveService] = []
+    clients = clients_per_service_node * service_nodes
+
+    if design == "native":
+        cluster = Cluster.native(sim, n)
+        batch_contexts = [pm.native for pm in cluster.pms[service_nodes:]]
+        # interactive apps keep dedicated native machines (no
+        # virtualization): over-provisioned and mostly idle
+        service_pms = cluster.pms[:service_nodes]
+        mr = MapReduceCluster(sim, cluster.fabric, batch_contexts)
+        drm = ips = monitor = None
+        # model the service natively: open-ended CPU demand on the PMs
+        for pm in service_pms:
+            pm.native.run_cpu(float("inf"), cap=0.35, label="svc")
+            pm.native.run_disk(float("inf"), cap=3.0, label="svc-io")
+    elif design == "virtual":
+        cluster = Cluster.virtual(sim, n // 2, 2)
+        vms = cluster.vms
+        service_vms = vms[:service_nodes]
+        batch_vms = vms[service_nodes:]
+        service = InteractiveService(
+            sim, "rubis", RUBIS, service_vms, ConstantLoad(clients)
+        )
+        services.append(service)
+        service.start()
+        mr = MapReduceCluster(sim, cluster.fabric, batch_vms)
+        drm = ips = monitor = None  # stock virtual cluster
+    elif design == "hybridmr":
+        # one Hadoop spanning the native half and the batch VMs carved
+        # out of the virtualized quarter (the paper's 12 PM + 12 VM
+        # pool), with the Phase II machinery guarding those hosts
+        native_pms = n // 2
+        virt_pms = max(1, n // 4)
+        cluster = Cluster.hybrid(sim, native_pms, virt_pms, 3)
+        vms = cluster.vms
+        service_vms = vms[:service_nodes]
+        batch_vms = vms[service_nodes:]
+        service = InteractiveService(
+            sim, "rubis", RUBIS, service_vms, ConstantLoad(clients)
+        )
+        services.append(service)
+        service.start()
+        contexts = cluster.native_contexts() + batch_vms
+        mr = MapReduceCluster(sim, cluster.fabric, contexts)
+        drm = DynamicResourceManager(sim, mr.jt, batch_vms)
+        drm.start()
+        monitor = SLAMonitor(sim, [service])
+        ips = InterferencePreventionSystem(
+            sim, monitor, drm, mr.jt, cluster.pms
+        )
+        monitor.start()
+    else:
+        raise ValueError(f"unknown design {design!r}")
+
+    meter = cluster.start_metering()
+    specs = _specs(scale, benchmarks, max(1, (n - service_nodes) // 2))
+
+    # steady state: each benchmark resubmits itself on completion and
+    # the design runs for a fixed horizon, so energy reflects how many
+    # servers the design keeps powered around the clock -- the paper's
+    # data-center framing -- rather than one burst's duration.
+    horizon_s = 1500.0
+    completed: Dict[str, List[float]] = {spec.name: [] for spec in specs}
+    counters: Dict[str, int] = {spec.name: 0 for spec in specs}
+
+    # closed loop with think time: each benchmark stream resubmits a
+    # fresh copy ``gap`` seconds after its previous run finishes, so no
+    # design builds an unbounded queue and energy reflects how busy the
+    # powered servers really are
+    gap_s = 90.0
+
+    def submit(base_name: str, spec) -> None:
+        def on_done(job) -> None:
+            completed[base_name].append(job.jct)
+            if sim.now + gap_s < horizon_s:
+                counters[base_name] += 1
+                clone = make_job(
+                    spec.profile.name,
+                    input_gb=spec.input_gb,
+                    num_reducers=spec.num_reducers,
+                    name=f"{base_name}#{counters[base_name]}",
+                )
+                sim.schedule(gap_s, lambda: submit(base_name, clone))
+
+        mr.jt.submit(spec, on_complete=on_done)
+
+    for spec in specs:
+        submit(spec.name, spec)
+    sim.run(until=horizon_s)
+    meter.stop()
+    mr.jt.shutdown()
+    if drm is not None:
+        drm.stop()
+    if monitor is not None:
+        monitor.stop()
+    if ips is not None:
+        ips.stop()
+    for service in services:
+        service.stop()
+    missing = [name for name, jct_list in completed.items() if not jct_list]
+    if missing:
+        raise RuntimeError(f"{design}: no completions for {missing}")
+    jcts = {name: mean(jct_list) for name, jct_list in completed.items()}
+    report = EnergyReport(
+        design=design,
+        mean_jct_s=mean(list(jcts.values())),
+        energy_joules=meter.energy_joules,
+        servers=cluster.powered_servers(),
+        utilization=cluster.mean_cpu_utilization(),
+    )
+    return jcts, report
+
+
+def fig9b_9c(
+    scale: Scale = SMALL,
+    benchmarks: Optional[Sequence[str]] = None,
+    clients_per_service_node: int = 250,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """JCT table (9b) and normalized design metrics (9c)."""
+    benchmarks = list(benchmarks or BENCH_NAMES)
+    jcts: Dict[str, Dict[str, float]] = {}
+    reports: List[EnergyReport] = []
+    for design in DESIGNS:
+        design_jcts, report = _run_design(
+            design, scale, benchmarks, clients_per_service_node, seed
+        )
+        jcts[design] = design_jcts
+        reports.append(report)
+    # 9(b): normalize each benchmark's JCT by the worst design
+    normalized: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        name = bench.lower()
+        worst = max(jcts[d][name] for d in DESIGNS)
+        normalized[bench] = {d: jcts[d][name] / worst for d in DESIGNS}
+    return {
+        "jct_normalized": normalized,
+        "jct_seconds": jcts,
+        "metrics": EnergyReport.normalize(reports),
+        "reports": reports,
+    }
+
+
+def fig9a(
+    pms: int = 8,
+    clients: int = 1200,
+    batch_arrival_s: float = 600.0,
+    horizon_s: float = 2100.0,
+    seed: int = 11,
+) -> Dict[str, object]:
+    """Response-time timeline with SLA breach and IPS recovery.
+
+    RUBiS and TPC-W run on a virtualized cluster; at ``batch_arrival_s``
+    a batch of MapReduce jobs lands on collocated VMs.  Latency crosses
+    the 2 s SLA; the IPS migrates/throttles the offenders and latency
+    returns below the SLA, as in the paper's 35-minute trace.
+    """
+    sim = Simulator(seed=seed)
+    cluster = Cluster.virtual(sim, pms, 3)
+    vms = cluster.vms
+    rubis_vms = [vms[i] for i in range(0, len(vms), 6)]
+    tpcw_vms = [vms[i] for i in range(3, len(vms), 6)]
+    batch_vms = [vm for vm in vms if vm not in rubis_vms and vm not in tpcw_vms]
+    rubis = InteractiveService(sim, "RUBiS", RUBIS, rubis_vms, ConstantLoad(clients))
+    tpcw = InteractiveService(
+        sim, "TPC-W", TPCW, tpcw_vms, ConstantLoad(int(clients * 0.6))
+    )
+    scheduler = HybridMRScheduler(
+        sim,
+        cluster.fabric,
+        [],
+        batch_vms,
+        cluster.pms,
+        services=[rubis, tpcw],
+        config=HybridMRConfig(phase1_enabled=False),
+    )
+    scheduler.start()
+
+    def submit_batch() -> None:
+        for bench in ("Sort", "Wcount", "Twitter"):
+            scheduler.submit(
+                make_job(bench, input_gb=2.0, num_reducers=len(batch_vms))
+            )
+
+    sim.schedule(batch_arrival_s, submit_batch)
+    sim.run(until=horizon_s)
+    result = {
+        "rubis_trace": list(rubis.latency_trace),
+        "tpcw_trace": list(tpcw.latency_trace),
+        "sla_ms": rubis.sla_ms,
+        "ips_actions": list(scheduler.ips.actions) if scheduler.ips else [],
+        "migrations": list(scheduler.ips.migrations) if scheduler.ips else [],
+    }
+    scheduler.stop()
+    return result

@@ -1,0 +1,172 @@
+"""Figure 10: utilization gains and live-migration costs.
+
+- **10(a)**: CPU / memory / I/O utilization over time, baseline
+  (isolated native tiers) vs HybridMR (consolidated hybrid) -- the
+  45% utilization boost of the abstract;
+- **10(b)**: per-VM live-migration time for idle vs Wcount-running VMs
+  at 0.5 GB and 1 GB memory;
+- **10(c)**: per-VM downtime during the same migrations (wide,
+  workload-dependent variation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resources
+from repro.experiments.common import SMALL, Scale
+from repro.interactive.loadgen import ConstantLoad
+from repro.interactive.service import RUBIS, InteractiveService
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.metrics.collector import UtilizationCollector
+from repro.sim.engine import Simulator
+from repro.virt.migration import LiveMigration, MigrationRecord
+from repro.workloads.specs import make_job
+
+
+def fig10a(
+    scale: Scale = SMALL,
+    horizon_s: float = 1200.0,
+    sample_s: float = 60.0,
+    seed: int = 7,
+) -> Dict[str, Dict[str, List]]:
+    """Utilization traces: baseline vs HybridMR consolidation.
+
+    Baseline mirrors the paper's status quo -- interactive services on
+    dedicated over-provisioned machines, batch on its own native
+    partition.  HybridMR consolidates both onto the hybrid cluster.
+    Returns ``{config: {metric: [(t, value), ...]}}``.
+    """
+    out: Dict[str, Dict[str, List]] = {}
+    for config in ("baseline", "hybridmr"):
+        sim = Simulator(seed=seed)
+        n = scale.pms
+        if config == "baseline":
+            cluster = Cluster.native(sim, n)
+            for pm in cluster.pms[: n // 2]:
+                pm.native.run_cpu(float("inf"), cap=0.35, label="svc")
+                pm.native.run_disk(float("inf"), cap=3.0, label="svc-io")
+            contexts = [pm.native for pm in cluster.pms[n // 2:]]
+        else:
+            cluster = Cluster.hybrid(sim, n // 2, max(1, n // 4), 3)
+            vms = cluster.vms
+            service_vms = vms[: n // 2]
+            batch_vms = vms[n // 2:]
+            service = InteractiveService(
+                sim, "rubis", RUBIS, service_vms, ConstantLoad(150 * len(service_vms))
+            )
+            service.start()
+            contexts = cluster.native_contexts() + batch_vms
+        collector = UtilizationCollector(sim, cluster, interval_s=sample_s)
+        collector.start()
+        mr = MapReduceCluster(sim, cluster.fabric, contexts)
+
+        def resubmit(bench: str, counter: Dict[str, int]) -> None:
+            if sim.now >= horizon_s:
+                return
+            counter[bench] += 1
+            spec = make_job(
+                bench,
+                input_gb=scale.input_gb(bench),
+                num_reducers=len(contexts) // 2 or 1,
+                name=f"{bench.lower()}#{counter[bench]}",
+            )
+            mr.jt.submit(spec, on_complete=lambda j: resubmit(bench, counter))
+
+        counter: Dict[str, int] = {b: 0 for b in ("Sort", "Wcount", "Kmeans")}
+        for bench in counter:
+            resubmit(bench, counter)
+        sim.run(until=horizon_s)
+        collector.stop()
+        mr.jt.shutdown()
+        out[config] = {
+            metric: list(collector.traces[metric]) for metric in ("cpu", "mem", "io")
+        }
+    return out
+
+
+def fig10a_means(traces: Dict[str, Dict[str, List]]) -> Dict[str, Dict[str, float]]:
+    """Mean utilization per metric per config."""
+    return {
+        config: {
+            metric: (sum(v for _, v in series) / len(series) if series else 0.0)
+            for metric, series in metrics.items()
+        }
+        for config, metrics in traces.items()
+    }
+
+
+def fig10bc(
+    n_vms: int = 24,
+    mem_sizes_mb: Sequence[float] = (512.0, 1024.0),
+    workloads: Sequence[str] = ("idle", "wcount"),
+    seed: int = 13,
+) -> Dict[str, List[MigrationRecord]]:
+    """Migrate every VM of a cluster mid-run; collect per-VM records.
+
+    Mirrors the paper's setup: a 24-VM Hadoop cluster runs Wcount (or
+    sits idle) while each VM is live-migrated to a spare host.  Returns
+    ``{"<workload>-<mem>GB": [MigrationRecord, ...]}``.
+    """
+    out: Dict[str, List[MigrationRecord]] = {}
+    for workload in workloads:
+        for mem_mb in mem_sizes_mb:
+            sim = Simulator(seed=seed)
+            n_pms = n_vms // 2
+            cluster = Cluster(sim)
+            spec = Resources(
+                cpu_cores=1.0, mem_mb=mem_mb, disk_mbps=75.0, net_mbps=119.0
+            )
+            for _ in range(n_pms):
+                pm = cluster.add_pm()
+                cluster.add_vm(pm, spec=spec)
+                cluster.add_vm(pm, spec=spec)
+            spares = [cluster.add_pm(f"spare{i:02d}") for i in range(n_pms)]
+            mr = None
+            if workload == "wcount":
+                mr = MapReduceCluster(
+                    sim, cluster.fabric, list(cluster.vms),
+                    map_slots=2, reduce_slots=2, daemon_mem_mb=150.0,
+                )
+                mr.jt.submit(
+                    make_job("Wcount", input_gb=max(1.0, n_vms / 8), num_reducers=n_vms)
+                )
+                sim.run(until=10.0)  # let the job ramp up
+            records: List[MigrationRecord] = []
+            pending = {"n": len(cluster.vms)}
+
+            def finished(record: MigrationRecord) -> None:
+                records.append(record)
+                pending["n"] -= 1
+                if pending["n"] == 0:
+                    sim.stop()
+
+            for i, vm in enumerate(cluster.vms):
+                LiveMigration(
+                    sim, cluster.fabric, vm, spares[i % len(spares)],
+                    on_complete=finished,
+                )
+            sim.run(until=sim.now + 1e6)
+            if mr is not None:
+                mr.jt.shutdown()
+            key = f"{workload}-{mem_mb / 1024:g}GB"
+            out[key] = records
+    return out
+
+
+def migration_summary(
+    records: Dict[str, List[MigrationRecord]]
+) -> Dict[str, Dict[str, float]]:
+    """Mean/max migration time (s) and downtime (ms) per configuration."""
+    summary = {}
+    for key, recs in records.items():
+        times = [r.migration_time_s for r in recs]
+        downs = [r.downtime_ms for r in recs]
+        summary[key] = {
+            "mean_migration_s": sum(times) / len(times),
+            "max_migration_s": max(times),
+            "mean_downtime_ms": sum(downs) / len(downs),
+            "max_downtime_ms": max(downs),
+        }
+    return summary

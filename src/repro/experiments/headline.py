@@ -1,0 +1,46 @@
+"""The abstract's headline numbers.
+
+The paper's summary claims:
+
+- up to **40%** improvement in MapReduce completion times over the
+  virtual-only cluster;
+- **45%** better resource utilization than the native-only cluster;
+- up to **43%** energy savings relative to the native-only cluster,
+
+all while keeping interactive SLAs.  This module distils them from the
+cross-platform experiment (Figure 9) so the benchmark harness can print
+paper-vs-measured in one table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import SMALL, Scale
+from repro.experiments.fig09_cross_platform import fig9b_9c
+
+PAPER_HEADLINE = {
+    "jct_improvement_vs_virtual_pct": 40.0,
+    "utilization_gain_vs_native_pct": 45.0,
+    "energy_savings_vs_native_pct": 43.0,
+}
+
+
+def headline_numbers(scale: Scale = SMALL, seed: int = 7) -> Dict[str, float]:
+    """Measured analogues of the abstract's three claims."""
+    result = fig9b_9c(scale=scale, seed=seed)
+    by_design = {r.design: r for r in result["reports"]}
+    native = by_design["native"]
+    virtual = by_design["virtual"]
+    hybrid = by_design["hybridmr"]
+    return {
+        "jct_improvement_vs_virtual_pct": 100.0
+        * (virtual.mean_jct_s - hybrid.mean_jct_s)
+        / virtual.mean_jct_s,
+        "utilization_gain_vs_native_pct": 100.0
+        * (hybrid.utilization - native.utilization)
+        / native.utilization,
+        "energy_savings_vs_native_pct": 100.0
+        * (native.energy_joules - hybrid.energy_joules)
+        / native.energy_joules,
+    }

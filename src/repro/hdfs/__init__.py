@@ -1,0 +1,25 @@
+"""HDFS substrate: blocks, replication, locality-aware reads/writes.
+
+Models the parts of the Hadoop Distributed File System that the paper's
+evaluation exercises: block-granular files (64 MB), a NameNode holding
+the namespace and replica map (replication factor 2, matching the
+testbed), DataNodes bound to execution contexts, pipelined replicated
+writes, locality-preferring reads, and the TestDFSIO benchmark used for
+Figure 1(c).
+"""
+
+from repro.hdfs.block import Block, BlockReplica
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.testdfsio import TestDFSIO, DFSIOResult
+
+__all__ = [
+    "Block",
+    "BlockReplica",
+    "NameNode",
+    "DataNode",
+    "HDFS",
+    "TestDFSIO",
+    "DFSIOResult",
+]

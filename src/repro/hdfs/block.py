@@ -1,0 +1,28 @@
+"""HDFS blocks and replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of a file (default 64 MB, the Hadoop 0.22 default)."""
+
+    block_id: int
+    file_name: str
+    index: int
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError("block size must be positive")
+
+
+@dataclass
+class BlockReplica:
+    """A copy of a block living on a specific DataNode."""
+
+    block: Block
+    datanode_name: str

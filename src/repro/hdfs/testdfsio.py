@@ -1,0 +1,142 @@
+"""TestDFSIO analogue (Figure 1(c)).
+
+Hadoop's TestDFSIO measures HDFS read/write performance: N client
+tasks each write (or read) a file of S megabytes; it reports
+
+- *average I/O rate*: mean over tasks of ``bytes / task_time`` (MB/s);
+- *throughput*: ``total bytes / sum of task times`` (MB/s).
+
+The paper runs it on virtual and native clusters of equal node count
+and normalizes virtual by native, showing the gap widening with data
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cluster.machine import ExecutionContext
+from repro.hdfs.filesystem import HDFS
+from repro.sim.engine import Simulator
+from repro.sim.sequence import join
+from repro.virt.overheads import DEFAULT_OVERHEADS, OverheadModel
+
+
+@dataclass
+class DFSIOResult:
+    """Outcome of one TestDFSIO run."""
+
+    mode: str  # "write" or "read"
+    n_files: int
+    file_mb: float
+    avg_io_rate_mbps: float
+    throughput_mbps: float
+    elapsed_s: float
+
+
+class TestDFSIO:
+    """Drive concurrent file reads/writes from a set of client contexts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: HDFS,
+        clients: List[ExecutionContext],
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client context")
+        self.sim = sim
+        self.fs = fs
+        self.clients = clients
+        self.overheads = overheads
+        self._counter = 0
+
+    def _penalty(self, client: ExecutionContext, file_mb: float) -> float:
+        if client.is_virtual:
+            return self.overheads.sustained_io_penalty(file_mb / 1024.0)
+        return 0.0
+
+    def run_write(
+        self, file_mb: float, on_complete: Callable[[DFSIOResult], None]
+    ) -> None:
+        """Each client writes one ``file_mb`` file; report when all done."""
+        self._counter += 1
+        tag = self._counter
+        start = self.sim.now
+        task_times: List[float] = []
+        arms = join(len(self.clients), lambda: on_complete(
+            self._result("write", file_mb, start, task_times)
+        ))
+        for i, (client, arm) in enumerate(zip(self.clients, arms)):
+            t0 = self.sim.now
+
+            def finish(arm=arm, t0=t0) -> None:
+                task_times.append(self.sim.now - t0)
+                arm()
+
+            self.fs.create_file(
+                f"dfsio-{tag}-w{i}",
+                file_mb,
+                client,
+                finish,
+                efficiency_penalty=self._penalty(client, file_mb),
+            )
+
+    def run_read(
+        self, file_mb: float, on_complete: Callable[[DFSIOResult], None]
+    ) -> None:
+        """Each client reads a pre-placed ``file_mb`` file."""
+        self._counter += 1
+        tag = self._counter
+        files = []
+        for i in range(len(self.clients)):
+            name = f"dfsio-{tag}-r{i}"
+            self.fs.preload_file(name, file_mb)
+            files.append(name)
+        start = self.sim.now
+        task_times: List[float] = []
+        arms = join(len(self.clients), lambda: on_complete(
+            self._result("read", file_mb, start, task_times)
+        ))
+        for client, name, arm in zip(self.clients, files, arms):
+            self._read_file(client, name, file_mb, task_times, arm)
+
+    def _read_file(
+        self,
+        client: ExecutionContext,
+        name: str,
+        file_mb: float,
+        task_times: List[float],
+        arm: Callable[[], None],
+    ) -> None:
+        blocks = self.fs.namenode.blocks_of(name)
+        t0 = self.sim.now
+
+        def done_all() -> None:
+            task_times.append(self.sim.now - t0)
+            arm()
+
+        block_arms = join(len(blocks), done_all)
+        penalty = self._penalty(client, file_mb)
+        for block, block_arm in zip(blocks, block_arms):
+            self.fs.read_block(block, client, block_arm, efficiency_penalty=penalty)
+
+    def _result(
+        self, mode: str, file_mb: float, start: float, task_times: List[float]
+    ) -> DFSIOResult:
+        n = len(task_times)
+        total_mb = n * file_mb
+        sum_times = sum(task_times)
+        avg_rate = (
+            sum(file_mb / t for t in task_times if t > 0) / n if n else 0.0
+        )
+        return DFSIOResult(
+            mode=mode,
+            n_files=n,
+            file_mb=file_mb,
+            avg_io_rate_mbps=avg_rate,
+            throughput_mbps=total_mb / sum_times if sum_times > 0 else 0.0,
+            elapsed_s=self.sim.now - start,
+        )

@@ -1,0 +1,42 @@
+"""Interactive (transactional) application substrate.
+
+The paper co-hosts three interactive benchmarks with MapReduce:
+RUBiS (online auction), TPC-W (online bookstore) and Olio (Web 2.0
+social events).  We model each as a closed-loop client population
+driving a multi-VM service whose response time follows a
+processor-sharing queueing model over the CPU and disk capacity the
+service's VMs actually obtain -- so collocated batch VMs degrade
+latency exactly the way Figures 8(d) and 9(a) show.
+"""
+
+from repro.interactive.service import (
+    InteractiveService,
+    ServiceProfile,
+    RUBIS,
+    TPCW,
+    OLIO,
+    solve_closed_loop_latency,
+)
+from repro.interactive.loadgen import (
+    LoadProfile,
+    ConstantLoad,
+    StepLoad,
+    SinusoidLoad,
+    BurstyLoad,
+)
+from repro.interactive.sla import SLAMonitor
+
+__all__ = [
+    "InteractiveService",
+    "ServiceProfile",
+    "RUBIS",
+    "TPCW",
+    "OLIO",
+    "solve_closed_loop_latency",
+    "LoadProfile",
+    "ConstantLoad",
+    "StepLoad",
+    "SinusoidLoad",
+    "BurstyLoad",
+    "SLAMonitor",
+]

@@ -1,0 +1,121 @@
+"""Client load profiles for interactive services.
+
+A load profile answers one question: how many concurrent clients exist
+at simulated time ``t``?  Interactive workloads in the paper are bursty
+and over-provisioned -- average load is well below the provisioned
+peak, which is exactly the headroom HybridMR consolidates batch work
+into.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class LoadProfile:
+    """Interface: concurrent client count as a function of time."""
+
+    def clients(self, t: float) -> int:
+        raise NotImplementedError
+
+    def peak(self) -> int:
+        """Upper bound used for capacity provisioning."""
+        raise NotImplementedError
+
+
+class ConstantLoad(LoadProfile):
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("client count must be non-negative")
+        self.n = n
+
+    def clients(self, t: float) -> int:
+        return self.n
+
+    def peak(self) -> int:
+        return self.n
+
+
+class StepLoad(LoadProfile):
+    """Piece-wise constant: [(start_time, clients), ...] sorted by time."""
+
+    def __init__(self, steps: Sequence[Tuple[float, int]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        self.steps = sorted(steps)
+
+    def clients(self, t: float) -> int:
+        current = self.steps[0][1]
+        for start, n in self.steps:
+            if t >= start:
+                current = n
+            else:
+                break
+        return current
+
+    def peak(self) -> int:
+        return max(n for _, n in self.steps)
+
+
+class SinusoidLoad(LoadProfile):
+    """Diurnal-style wave between ``low`` and ``high`` clients."""
+
+    def __init__(self, low: int, high: int, period_s: float, phase: float = 0.0) -> None:
+        if low > high:
+            raise ValueError("low must not exceed high")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.low = low
+        self.high = high
+        self.period_s = period_s
+        self.phase = phase
+
+    def clients(self, t: float) -> int:
+        mid = (self.low + self.high) / 2.0
+        amp = (self.high - self.low) / 2.0
+        return int(round(mid + amp * math.sin(2 * math.pi * t / self.period_s + self.phase)))
+
+    def peak(self) -> int:
+        return self.high
+
+
+class BurstyLoad(LoadProfile):
+    """Baseline load with random bursts (deterministic given the RNG).
+
+    Bursts of ``burst_clients`` extra clients arrive as a Poisson-ish
+    process with mean inter-arrival ``mean_gap_s`` and last
+    ``burst_len_s``; the whole trace is precomputed so repeated queries
+    are consistent.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        burst_clients: int,
+        rng: random.Random,
+        mean_gap_s: float = 300.0,
+        burst_len_s: float = 60.0,
+        horizon_s: float = 86400.0,
+    ) -> None:
+        if base < 0 or burst_clients < 0:
+            raise ValueError("client counts must be non-negative")
+        self.base = base
+        self.burst_clients = burst_clients
+        self.bursts: List[Tuple[float, float]] = []
+        t = 0.0
+        while t < horizon_s:
+            t += rng.expovariate(1.0 / mean_gap_s)
+            self.bursts.append((t, t + burst_len_s))
+
+    def clients(self, t: float) -> int:
+        for start, end in self.bursts:
+            if start <= t < end:
+                return self.base + self.burst_clients
+            if start > t:
+                break
+        return self.base
+
+    def peak(self) -> int:
+        return self.base + self.burst_clients

@@ -1,0 +1,38 @@
+"""Small regression utilities shared by the model classes."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``y ~ a*x + b``.
+
+    Degenerate inputs (fewer than two points, or zero variance in x)
+    fall back to a flat line through the mean.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.size != ys.size:
+        raise ValueError("x and y must have equal length")
+    if xs.size == 0:
+        raise ValueError("cannot fit an empty dataset")
+    if xs.size < 2 or float(np.ptp(xs)) < 1e-12:
+        return 0.0, float(np.mean(ys))
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(slope), float(intercept)
+
+
+def r_squared(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination (1.0 = perfect fit)."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    if yt.size != yp.size or yt.size == 0:
+        raise ValueError("inputs must be equal-length and non-empty")
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - np.mean(yt)) ** 2))
+    if ss_tot < 1e-12:
+        return 1.0 if ss_res < 1e-12 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,46 @@
+"""Hadoop-0.22-style MapReduce runtime over the simulated cluster.
+
+Implements the pieces of Hadoop the paper's evaluation depends on:
+JobTracker/TaskTracker with per-node map and reduce slots, block-
+granular map tasks with locality-aware input reads, an event-driven
+shuffle, merge/reduce/output phases with replicated HDFS writes,
+speculative execution, FIFO and Fair job schedulers, and the
+combined-vs-split deployment architectures of Figure 3.
+"""
+
+from repro.mapreduce.job import BenchmarkProfile, JobSpec, Job, JobState
+from repro.mapreduce.task import Task, TaskAttempt, TaskKind
+from repro.mapreduce.tracker import TaskTracker
+from repro.mapreduce.schedulers import (
+    CapacityScheduler,
+    FIFOScheduler,
+    FairScheduler,
+    SlotScheduler,
+)
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.iterative import (
+    IterativeJobRunner,
+    IterativeRunResult,
+    in_memory_engine,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "JobSpec",
+    "Job",
+    "JobState",
+    "Task",
+    "TaskAttempt",
+    "TaskKind",
+    "TaskTracker",
+    "CapacityScheduler",
+    "FIFOScheduler",
+    "FairScheduler",
+    "SlotScheduler",
+    "JobTracker",
+    "MapReduceCluster",
+    "IterativeJobRunner",
+    "IterativeRunResult",
+    "in_memory_engine",
+]

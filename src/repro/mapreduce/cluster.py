@@ -1,0 +1,143 @@
+"""MapReduceCluster: one-call wiring of HDFS + JobTracker over contexts.
+
+Supports the two deployment architectures of Figure 3:
+
+- **combined** (stock Hadoop): every node runs a TaskTracker *and* a
+  DataNode on the same context;
+- **split**: TaskTrackers on compute contexts, DataNodes on separate
+  storage contexts, so data stays put while compute VMs migrate or
+  scale.  On a virtualized host this also separates the I/O-heavy
+  DataNode from CPU-heavy task work, which is where the paper's
+  ~12.8% JCT improvement comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.machine import ExecutionContext
+from repro.hdfs.filesystem import HDFS
+from repro.mapreduce.job import Job, JobSpec
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.schedulers import SlotScheduler
+from repro.mapreduce.tracker import TaskTracker
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.virt.overheads import DEFAULT_OVERHEADS, OverheadModel
+
+
+class MapReduceCluster:
+    """A Hadoop deployment over a set of execution contexts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        compute_contexts: Sequence[ExecutionContext],
+        storage_contexts: Optional[Sequence[ExecutionContext]] = None,
+        map_slots: Optional[int] = 2,
+        reduce_slots: Optional[int] = 2,
+        scheduler: Optional[SlotScheduler] = None,
+        block_size_mb: float = 64.0,
+        replication: int = 2,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+        speculation: bool = True,
+        daemon_mem_mb: float = 250.0,
+        **jt_kwargs,
+    ) -> None:
+        if not compute_contexts:
+            raise ValueError("need at least one compute context")
+        self.sim = sim
+        self.fabric = fabric
+        self.split_architecture = storage_contexts is not None
+        self.fs = HDFS(sim, fabric, block_size_mb, replication)
+        for ctx in storage_contexts if self.split_architecture else compute_contexts:
+            self.fs.add_datanode(ctx)
+        # TaskTracker + DataNode daemons hold JVM heaps even when idle;
+        # this is what makes 1 GB guests feel memory pressure under
+        # high-memory benchmarks (and gives the DRM's ballooning a job)
+        self.daemon_mem_mb = daemon_mem_mb
+        for ctx in compute_contexts:
+            # daemons on small guests run with proportionally smaller
+            # heaps, as a real deployment would configure
+            ctx.alloc_mem(min(daemon_mem_mb, 0.3 * ctx.mem_capacity_mb))
+
+        def auto_slots(ctx: ExecutionContext) -> int:
+            # Hadoop sizing guidance: one slot per core the node can use
+            spec = getattr(ctx, "spec", None)
+            cores = spec.cpu_cores if spec is not None else ctx.pm.spec.cpu_cores
+            return max(1, int(round(cores)))
+
+        self.trackers = [
+            TaskTracker(
+                ctx,
+                map_slots if map_slots is not None else auto_slots(ctx),
+                reduce_slots if reduce_slots is not None else auto_slots(ctx),
+            )
+            for ctx in compute_contexts
+        ]
+        self.jt = JobTracker(
+            sim,
+            self.fs,
+            fabric,
+            self.trackers,
+            scheduler=scheduler,
+            overheads=overheads,
+            speculation=speculation,
+            **jt_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience entry points used by experiments and examples
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        on_complete: Optional[Callable[[Job], None]] = None,
+    ) -> Job:
+        return self.jt.submit(spec, on_complete)
+
+    def fail_node(self, context: ExecutionContext, recover_hdfs: bool = True) -> None:
+        """Crash a worker node: its tracker stops, its running attempts
+        and resident map outputs are lost (tasks re-execute), its
+        DataNode is decommissioned and, by default, the under-replicated
+        blocks are regenerated from surviving copies -- the recovery
+        path the paper leans on when discussing migration downtime."""
+        self.jt.handle_node_failure(context)
+        datanode = self.fs.datanode_on_context(context)
+        if datanode is not None:
+            self.fs.namenode.decommission_datanode(datanode.name)
+            if recover_hdfs:
+                self.fs.re_replicate(lambda: None)
+
+    def run_job(self, spec: JobSpec, timeout_s: float = 1e7) -> Job:
+        """Submit one job and run the simulation until it finishes."""
+        return self.run_jobs([spec], timeout_s)[0]
+
+    def run_jobs(self, specs: Sequence[JobSpec], timeout_s: float = 1e7) -> List[Job]:
+        """Submit jobs concurrently; run until all finish.
+
+        The simulation halts as soon as the last job completes (periodic
+        machinery like speculation timers would otherwise keep the event
+        queue alive forever).
+        """
+        remaining = {"n": len(specs)}
+
+        def one_done(_job: Job) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self.sim.stop()
+
+        deadline = self.sim.now + timeout_s
+        jobs = [self.jt.submit(spec, on_complete=one_done) for spec in specs]
+        self.sim.run(until=deadline)
+        unfinished = [j for j in jobs if not j.done]
+        if unfinished:
+            details = ", ".join(
+                f"{j.spec.name}({j.maps_completed}/{len(j.map_tasks)}m,"
+                f"{j.reduces_completed}/{len(j.reduce_tasks)}r)"
+                for j in unfinished
+            )
+            raise RuntimeError(f"jobs unfinished after {timeout_s}s: {details}")
+        self.jt.shutdown()
+        return jobs

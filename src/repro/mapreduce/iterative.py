@@ -1,0 +1,133 @@
+"""Iterative and in-memory MapReduce (the paper's future work).
+
+The conclusion names two directions: *iterative* MapReduce (Twister
+[17]) and the *in-memory* model (Spark [37]).  Both attack the same
+cost: stock Hadoop re-reads its input from HDFS and re-spawns task JVMs
+on every pass of an iterative algorithm like K-means.
+
+- :class:`IterativeJobRunner` runs a job for ``iterations`` passes on
+  any engine.  With ``cache_input=True`` (Twister's "static data" or a
+  Spark RDD), passes after the first read the input from memory.
+- :func:`in_memory_engine` configures a :class:`MapReduceCluster` like
+  a long-lived executor framework: intermediate and output I/O pinned
+  to memory, negligible per-task startup (executors are reused rather
+  than spawned).
+
+Together they quantify how much of HybridMR's virtual-cluster penalty
+is an artifact of Hadoop-1's disk-and-JVM-heavy execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.job import Job, JobSpec
+
+
+@dataclass
+class IterationResult:
+    """Per-pass outcome of an iterative run."""
+
+    iteration: int
+    jct_s: float
+    input_cached: bool
+
+
+@dataclass
+class IterativeRunResult:
+    """Aggregate outcome of :meth:`IterativeJobRunner.run`."""
+
+    spec_name: str
+    iterations: List[IterationResult] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.jct_s for r in self.iterations)
+
+    @property
+    def first_pass_s(self) -> float:
+        return self.iterations[0].jct_s
+
+    @property
+    def steady_state_s(self) -> float:
+        """Mean JCT of the warm passes (all but the first)."""
+        warm = self.iterations[1:]
+        if not warm:
+            return self.first_pass_s
+        return sum(r.jct_s for r in warm) / len(warm)
+
+
+class IterativeJobRunner:
+    """Run a MapReduce job repeatedly, as iterative frameworks do."""
+
+    def __init__(
+        self,
+        mr: MapReduceCluster,
+        spec: JobSpec,
+        iterations: int,
+        cache_input: bool = True,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.mr = mr
+        self.base_spec = spec
+        self.iterations = iterations
+        self.cache_input = cache_input
+
+    def run(self, timeout_s: float = 1e7) -> IterativeRunResult:
+        """Execute all passes sequentially (each waits for the last).
+
+        The input file is ingested once and shared by every pass --
+        Twister's static-data model.  With ``cache_input`` the second
+        and later passes read it from memory.
+        """
+        result = IterativeRunResult(self.base_spec.name)
+        input_file = f"{self.base_spec.name}-iterinput"
+        block_size = (
+            self.base_spec.input_mb / self.base_spec.num_maps
+            if self.base_spec.num_maps
+            else None
+        )
+        self.mr.fs.preload_file(input_file, self.base_spec.input_mb, block_size)
+        for i in range(self.iterations):
+            spec = JobSpec(
+                name=f"{self.base_spec.name}-it{i}",
+                profile=self.base_spec.profile,
+                input_gb=self.base_spec.input_gb,
+                num_reducers=self.base_spec.num_reducers,
+                num_maps=self.base_spec.num_maps,
+                input_cached=self.cache_input and i > 0,
+            )
+            job = self._run_one(spec, input_file, timeout_s)
+            result.iterations.append(
+                IterationResult(i, job.jct, spec.input_cached)
+            )
+        return result
+
+    def _run_one(self, spec: JobSpec, input_file: str, timeout_s: float) -> Job:
+        sim = self.mr.sim
+        done: List[Job] = []
+        self.mr.jt.submit(
+            spec,
+            on_complete=lambda j: (done.append(j), sim.stop()),
+            input_file=input_file,
+        )
+        sim.run(until=sim.now + timeout_s)
+        if not done:
+            raise RuntimeError(f"iteration {spec.name} did not finish")
+        return done[0]
+
+
+def in_memory_engine(mr: MapReduceCluster, task_startup_cpu_s: float = 0.2) -> MapReduceCluster:
+    """Reconfigure a cluster to execute like an in-memory framework.
+
+    Spark-style semantics: intermediate data and outputs live in memory
+    (spills only when they would not fit -- we model the optimistic
+    case), and tasks launch inside long-lived executors instead of
+    fresh JVMs.  Returns the same cluster for chaining.
+    """
+    mr.jt.force_cached = True
+    mr.jt.task_startup_cpu_s = task_startup_cpu_s
+    return mr

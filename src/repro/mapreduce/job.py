@@ -1,0 +1,154 @@
+"""Job specifications, benchmark profiles and runtime job state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.task import Task
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Resource profile of a MapReduce benchmark.
+
+    The six presets (see :mod:`repro.workloads.specs`) are calibrated so
+    the relative behaviour matches Section II: Sort/DistGrep are
+    I/O-dominated, PiEst/Kmeans CPU-dominated, Twitter/Wcount mixed
+    memory + I/O.
+
+    Units: CPU costs are core-seconds per MB; selectivity/output are
+    byte ratios relative to input.
+    """
+
+    name: str
+    map_cpu_per_mb: float
+    reduce_cpu_per_mb: float
+    map_selectivity: float
+    output_ratio: float
+    map_mem_mb: float = 200.0
+    reduce_mem_mb: float = 300.0
+    fixed_map_cpu: float = 0.0
+    resource_class: str = "mixed"  # "cpu" | "io" | "mixed"
+
+    def __post_init__(self) -> None:
+        if self.map_cpu_per_mb < 0 or self.reduce_cpu_per_mb < 0:
+            raise ValueError("cpu costs must be non-negative")
+        if self.map_selectivity < 0 or self.output_ratio < 0:
+            raise ValueError("byte ratios must be non-negative")
+        if self.resource_class not in ("cpu", "io", "mixed"):
+            raise ValueError(f"unknown resource class {self.resource_class!r}")
+
+
+@dataclass
+class JobSpec:
+    """A submission: which benchmark, how much data, what deadline."""
+
+    name: str
+    profile: BenchmarkProfile
+    input_gb: float
+    num_reducers: Optional[int] = None
+    #: override the block-derived map count (used by CPU-bound jobs like
+    #: PiEst whose tiny input would otherwise yield a single map)
+    num_maps: Optional[int] = None
+    desired_jct_s: Optional[float] = None
+    #: input blocks are already memory-resident (iterative engines cache
+    #: the training data between passes, as Twister/Spark do)
+    input_cached: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+        if self.num_reducers is not None and self.num_reducers < 0:
+            raise ValueError("num_reducers must be non-negative")
+        if self.num_maps is not None and self.num_maps <= 0:
+            raise ValueError("num_maps must be positive")
+
+    @property
+    def input_mb(self) -> float:
+        return self.input_gb * 1024.0
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    KILLED = "killed"
+
+
+class Job:
+    """Runtime state of a submitted job."""
+
+    def __init__(self, job_id: int, spec: JobSpec, submit_time: float) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.submit_time = submit_time
+        self.start_time: Optional[float] = None
+        self.maps_done_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.state = JobState.PENDING
+        self.map_tasks: List["Task"] = []
+        self.reduce_tasks: List["Task"] = []
+        self.input_file: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    @property
+    def maps_completed(self) -> int:
+        return sum(1 for t in self.map_tasks if t.completed)
+
+    @property
+    def reduces_completed(self) -> int:
+        return sum(1 for t in self.reduce_tasks if t.completed)
+
+    @property
+    def maps_done(self) -> bool:
+        return all(t.completed for t in self.map_tasks)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (JobState.SUCCEEDED, JobState.KILLED)
+
+    def map_progress(self) -> float:
+        if not self.map_tasks:
+            return 1.0
+        return self.maps_completed / len(self.map_tasks)
+
+    # ------------------------------------------------------------------
+    # timings (populated by the JobTracker)
+    # ------------------------------------------------------------------
+    @property
+    def jct(self) -> float:
+        """Job completion time: finish - submit (the paper's JCT)."""
+        if self.finish_time is None:
+            raise RuntimeError(f"job {self.spec.name} not finished")
+        return self.finish_time - self.submit_time
+
+    @property
+    def map_phase_time(self) -> float:
+        if self.maps_done_time is None or self.start_time is None:
+            raise RuntimeError("map phase not finished")
+        return self.maps_done_time - self.start_time
+
+    @property
+    def reduce_phase_time(self) -> float:
+        if self.finish_time is None or self.maps_done_time is None:
+            raise RuntimeError("job not finished")
+        return self.finish_time - self.maps_done_time
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def map_output_mb(self) -> float:
+        return self.spec.input_mb * self.spec.profile.map_selectivity
+
+    @property
+    def output_mb(self) -> float:
+        return self.spec.input_mb * self.spec.profile.output_ratio
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.spec.name!r}, id={self.job_id}, state={self.state.value})"

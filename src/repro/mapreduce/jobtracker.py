@@ -1,0 +1,455 @@
+"""The JobTracker: job lifecycle, slot dispatch, locality, speculation."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hdfs.filesystem import HDFS
+from repro.mapreduce.job import Job, JobSpec, JobState
+from repro.mapreduce.schedulers import FairScheduler, SlotScheduler
+from repro.mapreduce.task import Task, TaskAttempt, TaskKind
+from repro.mapreduce.tracker import TaskTracker
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.virt.overheads import DEFAULT_OVERHEADS, OverheadModel
+
+
+class JobTracker:
+    """Central coordinator, as in Hadoop 0.22 (pre-YARN).
+
+    Event-driven rather than heartbeat-driven: every slot release or
+    submission triggers a dispatch round after ``dispatch_delay``
+    seconds, which stands in for the heartbeat latency of the real
+    system while keeping the simulation deterministic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: HDFS,
+        fabric: NetworkFabric,
+        trackers: List[TaskTracker],
+        scheduler: Optional[SlotScheduler] = None,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+        slowstart: float = 0.05,
+        speculation: bool = True,
+        speculation_factor: float = 1.5,
+        speculation_interval: float = 15.0,
+        max_parallel_fetches: int = 5,
+        dispatch_delay: float = 0.1,
+        task_startup_cpu_s: float = 1.5,
+        merge_io_factor: float = 2.0,
+        straggler_prob: float = 0.06,
+        jitter: float = 0.18,
+    ) -> None:
+        if not trackers:
+            raise ValueError("need at least one TaskTracker")
+        if not 0.0 <= slowstart <= 1.0:
+            raise ValueError("slowstart must be in [0, 1]")
+        self.sim = sim
+        self.fs = fs
+        self.fabric = fabric
+        self.trackers = list(trackers)
+        self.scheduler = scheduler or FairScheduler()
+        self.overheads = overheads
+        self.slowstart = slowstart
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.max_parallel_fetches = max_parallel_fetches
+        self.dispatch_delay = dispatch_delay
+        #: JVM spawn + task-init CPU cost charged to every attempt
+        self.task_startup_cpu_s = task_startup_cpu_s
+        #: stock Hadoop reserves a fixed child-JVM heap per slot
+        #: (mapred.child.java.opts); the Phase II DRM's memory manager
+        #: flips ``dynamic_memory`` on to allocate tasks' actual needs
+        self.slot_heap_mb = 400.0
+        self.dynamic_memory = False
+        #: per-attempt work variability (data skew, slow disks, JVM GC):
+        #: every attempt draws a work multiplier; with ``straggler_prob``
+        #: it draws an extra 1.5-2.5x straggler factor.  This is what
+        #: speculation and the DRM's tail boosts push against.
+        self.straggler_prob = straggler_prob
+        self.jitter = jitter
+        #: merge passes move shuffle bytes through the disk this many times
+        self.merge_io_factor = merge_io_factor
+        self._io_cached: Dict[int, bool] = {}
+        self.active_jobs: List[Job] = []
+        self.finished_jobs: List[Job] = []
+        self._job_ids = itertools.count(1)
+        self._callbacks: Dict[int, Callable[[Job], None]] = {}
+        self._dispatch_pending = False
+        self.speculative_launched = 0
+        if speculation:
+            self._spec_cancel = sim.call_every(
+                speculation_interval, self._speculation_sweep
+            )
+        else:
+            self._spec_cancel = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        on_complete: Optional[Callable[[Job], None]] = None,
+        input_file: Optional[str] = None,
+    ) -> Job:
+        """Submit a job; its input is preloaded into HDFS unless an
+        existing ``input_file`` is given."""
+        job = Job(next(self._job_ids), spec, self.sim.now)
+        if input_file is None:
+            input_file = f"{spec.name}-input-{job.job_id}"
+            block_size = (
+                spec.input_mb / spec.num_maps if spec.num_maps else None
+            )
+            self.fs.preload_file(input_file, spec.input_mb, block_size)
+        job.input_file = input_file
+        blocks = self.fs.namenode.blocks_of(input_file)
+        job.map_tasks = [
+            Task(job, TaskKind.MAP, i, block) for i, block in enumerate(blocks)
+        ]
+        n_reduces = (
+            spec.num_reducers
+            if spec.num_reducers is not None
+            else len(self.trackers)
+        )
+        job.reduce_tasks = [Task(job, TaskKind.REDUCE, i) for i in range(n_reduces)]
+        for task in job.reduce_tasks:
+            task.maps_pending = len(job.map_tasks)
+        job.state = JobState.RUNNING
+        self.active_jobs.append(job)
+        if on_complete is not None:
+            self._callbacks[job.job_id] = on_complete
+        self.request_dispatch()
+        return job
+
+    def kill_job(self, job: Job) -> None:
+        for task in job.map_tasks + job.reduce_tasks:
+            for attempt in list(task.running_attempts):
+                attempt.kill()
+        job.state = JobState.KILLED
+        job.finish_time = self.sim.now
+        if job in self.active_jobs:
+            self.active_jobs.remove(job)
+        self.finished_jobs.append(job)
+
+    def shutdown(self) -> None:
+        """Stop periodic machinery (lets the event queue drain)."""
+        if self._spec_cancel is not None:
+            self._spec_cancel()
+            self._spec_cancel = None
+
+    def work_multiplier_for(self, task_name: str, attempt_index: int) -> float:
+        """Work factor for an attempt (1.0-centred, heavy right tail).
+
+        Keyed on the task identity and attempt ordinal so that the same
+        logical work draws the same skew regardless of scheduling order
+        -- ablation runs (DRM on/off, IPS on/off) stay byte-comparable.
+        """
+        import random as _random
+
+        rng = _random.Random(f"{task_name}:{attempt_index}:skew")
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if rng.random() < self.straggler_prob:
+            factor *= 1.5 + rng.random()
+        return max(0.3, factor)
+
+    # ------------------------------------------------------------------
+    # page-cache fit (decides disk vs memory speed for job I/O)
+    # ------------------------------------------------------------------
+    #: None = decide per job from the page-cache fit rule below;
+    #: True/False = forced (the in-memory Spark-style engine sets True)
+    force_cached: Optional[bool] = None
+
+    def io_cached(self, job: Job) -> bool:
+        """True when the job's working set fits the hosts' page caches.
+
+        The footprint counts intermediate data plus the job output with
+        replication, divided across the physical machines behind the
+        trackers; input reads always hit the disk (cold data).
+        """
+        if self.force_cached is not None:
+            return self.force_cached
+        if job.job_id in self._io_cached:
+            return self._io_cached[job.job_id]
+        pms = {t.context.pm for t in self.trackers}
+        budget = min(pm.cache_budget_mb for pm in pms)
+        footprint_mb = (
+            job.map_output_mb * (1.0 + self.merge_io_factor)
+            + job.output_mb * self.fs.replication
+        )
+        cached = footprint_mb / max(1, len(pms)) <= budget
+        self._io_cached[job.job_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def request_dispatch(self) -> None:
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.sim.schedule(self.dispatch_delay, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        progress = True
+        while progress:
+            progress = False
+            if self._assign_one(TaskKind.MAP):
+                progress = True
+            if self._assign_one(TaskKind.REDUCE):
+                progress = True
+
+    def _runnable_tasks(self, job: Job, kind: TaskKind) -> List[Task]:
+        if kind is TaskKind.MAP:
+            return [t for t in job.map_tasks if not t.scheduled]
+        if job.map_progress() + 1e-12 < self.slowstart and job.map_tasks:
+            return []
+        return [t for t in job.reduce_tasks if not t.scheduled]
+
+    def _free_trackers(self, kind: TaskKind) -> List[TaskTracker]:
+        if kind is TaskKind.MAP:
+            return [t for t in self.trackers if t.free_map_slots() > 0]
+        return [t for t in self.trackers if t.free_reduce_slots() > 0]
+
+    def _assign_one(self, kind: TaskKind) -> bool:
+        """Assign one task, emulating Hadoop's heartbeat discipline.
+
+        The *tracker* is chosen first -- the free one on the least
+        loaded physical machine, like the next node to heartbeat in a
+        lightly loaded cluster -- and then the best task *for it*:
+        node-local, then host-local, then any pending task.  Choosing
+        the tracker first spreads work across machines instead of
+        packing every task onto the few nodes that hold replicas.
+        """
+        free = self._free_trackers(kind)
+        if not free:
+            return False
+        load_by_pm: Dict[int, int] = {}
+        for t in self.trackers:
+            key = id(t.context.pm)
+            load_by_pm.setdefault(key, 0)
+            load_by_pm[key] += len(t.running)
+        tracker = min(
+            free,
+            key=lambda t: (load_by_pm[id(t.context.pm)], len(t.running), t.name),
+        )
+        for job in self.scheduler.order(self.active_jobs):
+            tasks = self._runnable_tasks(job, kind)
+            if not tasks:
+                continue
+            task = self._pick_task_for(tracker, tasks, kind)
+            self._launch(task, tracker)
+            return True
+        return False
+
+    def _pick_task_for(
+        self, tracker: TaskTracker, tasks: List[Task], kind: TaskKind
+    ) -> Task:
+        """Best pending task for this tracker (locality preference)."""
+        if kind is TaskKind.MAP:
+            host_local: Optional[Task] = None
+            for task in tasks:
+                holders = self.fs.namenode.replica_holders(task.block)
+                for holder in holders:
+                    if holder.context is tracker.context:
+                        return task  # node-local
+                    if host_local is None and holder.context.pm is tracker.context.pm:
+                        host_local = task
+            if host_local is not None:
+                return host_local
+        return tasks[0]
+
+    def _launch(
+        self, task: Task, tracker: TaskTracker, speculative: bool = False
+    ) -> TaskAttempt:
+        attempt = TaskAttempt(self, task, tracker, speculative)
+        tracker.assign(attempt)
+        job = task.job
+        if job.start_time is None:
+            job.start_time = self.sim.now
+        if speculative:
+            self.speculative_launched += 1
+        # reduce attempts seed their shuffle state from the task-level
+        # backlog inside start()
+        attempt.start()
+        return attempt
+
+    # ------------------------------------------------------------------
+    # attempt completion plumbing
+    # ------------------------------------------------------------------
+    def on_attempt_succeeded(self, attempt: TaskAttempt) -> None:
+        task = attempt.task
+        if task.completed:
+            # lost the race against a sibling attempt that finished in
+            # the same event; treat as killed
+            self.request_dispatch()
+            return
+        task.completed = True
+        task.completed_at = self.sim.now
+        task.winning_attempt = attempt
+        for sibling in list(task.running_attempts):
+            if sibling is not attempt:
+                sibling.kill()
+        if task.kind is TaskKind.MAP:
+            self._on_map_done(task, attempt)
+        self._check_job_done(task.job)
+        self.request_dispatch()
+
+    def on_attempt_done(self, attempt: TaskAttempt) -> None:
+        """Called when an attempt is killed; requeues incomplete tasks."""
+        self.request_dispatch()
+
+    def _on_map_done(self, task: Task, attempt: TaskAttempt) -> None:
+        job = task.job
+        n_reduces = max(1, len(job.reduce_tasks))
+        per_reduce_mb = (
+            task.block.size_mb * job.spec.profile.map_selectivity / n_reduces
+        )
+        host = attempt.tracker.context.host
+        for reduce_task in job.reduce_tasks:
+            reduce_task.maps_pending = max(0, reduce_task.maps_pending - 1)
+            if per_reduce_mb > 0:
+                reduce_task.shuffle_backlog[host] = (
+                    reduce_task.shuffle_backlog.get(host, 0.0) + per_reduce_mb
+                )
+            for running in reduce_task.running_attempts:
+                running.notify_map_output(host, per_reduce_mb)
+        if job.maps_done and job.maps_done_time is None:
+            job.maps_done_time = self.sim.now
+
+    def _check_job_done(self, job: Job) -> None:
+        if job.done:
+            return
+        all_tasks = job.map_tasks + job.reduce_tasks
+        if all(t.completed for t in all_tasks):
+            job.state = JobState.SUCCEEDED
+            job.finish_time = self.sim.now
+            if job.maps_done_time is None:
+                job.maps_done_time = self.sim.now
+            self.active_jobs.remove(job)
+            self.finished_jobs.append(job)
+            callback = self._callbacks.pop(job.job_id, None)
+            if callback is not None:
+                callback(job)
+
+    # ------------------------------------------------------------------
+    # fault tolerance (TaskTracker loss)
+    # ------------------------------------------------------------------
+    def handle_node_failure(self, context) -> None:
+        """A worker node died (crash, or a decommission the scheduler
+        forced).  Hadoop semantics:
+
+        - running attempts on the node are lost and their tasks requeued;
+        - *completed map outputs* stored on the node are lost too, so if
+          any reducer of the job still needs them, those maps re-execute;
+        - the node's trackers stop accepting work.
+
+        HDFS block recovery is separate (``HDFS.re_replicate``); the
+        caller decides whether to trigger it.
+        """
+        dead_trackers = [t for t in self.trackers if t.context is context]
+        if not dead_trackers:
+            # storage-only node (split architecture): no tasks or map
+            # outputs live here; HDFS recovery is the caller's job
+            return
+        for tracker in dead_trackers:
+            tracker.alive = False
+            for attempt in list(tracker.running):
+                attempt.kill()
+        lost_host = context.host
+        for job in list(self.active_jobs):
+            self._reexecute_lost_maps(job, context, lost_host)
+        self.request_dispatch()
+
+    def _reexecute_lost_maps(self, job: Job, context, lost_host: str) -> None:
+        """Re-open completed maps whose output lived on the dead node."""
+        reducers_unfinished = any(not t.completed for t in job.reduce_tasks)
+        if not reducers_unfinished:
+            return
+        n_reduces = max(1, len(job.reduce_tasks))
+        for task in job.map_tasks:
+            winner = task.winning_attempt
+            if not task.completed or winner is None:
+                continue
+            if winner.tracker.context is not context:
+                continue
+            per_reduce_mb = (
+                task.block.size_mb * job.spec.profile.map_selectivity / n_reduces
+            )
+            task.completed = False
+            task.completed_at = None
+            task.winning_attempt = None
+            for reduce_task in job.reduce_tasks:
+                if reduce_task.completed:
+                    continue
+                reduce_task.maps_pending += 1
+                if per_reduce_mb > 0:
+                    backlog = reduce_task.shuffle_backlog
+                    backlog[lost_host] = max(
+                        0.0, backlog.get(lost_host, 0.0) - per_reduce_mb
+                    )
+                for attempt in reduce_task.running_attempts:
+                    attempt.notify_map_lost(lost_host, per_reduce_mb)
+            if job.maps_done_time is not None:
+                job.maps_done_time = None
+
+    # ------------------------------------------------------------------
+    # speculative execution
+    # ------------------------------------------------------------------
+    def _speculation_sweep(self) -> None:
+        for job in list(self.active_jobs):
+            for kind in (TaskKind.MAP, TaskKind.REDUCE):
+                self._speculate_kind(job, kind)
+
+    def _speculate_kind(self, job: Job, kind: TaskKind) -> None:
+        tasks = job.map_tasks if kind is TaskKind.MAP else job.reduce_tasks
+        if any(not t.scheduled and not t.completed for t in tasks):
+            return  # still have pending work; no spare capacity for copies
+        durations = [
+            t.winning_attempt.duration
+            for t in tasks
+            if t.completed and t.winning_attempt is not None
+        ]
+        if len(durations) < 3:
+            return
+        mean = sum(durations) / len(durations)
+        threshold = self.speculation_factor * mean
+        free = self._free_trackers(kind)
+        if not free:
+            return
+        for task in tasks:
+            if task.completed or len(task.running_attempts) != 1:
+                continue
+            attempt = task.running_attempts[0]
+            # progress-based straggler test (as in Hadoop): compare the
+            # attempt's projected total duration against the mean of
+            # completed peers
+            projected = attempt.duration / max(attempt.progress(), 0.05)
+            if projected < threshold:
+                continue
+            others = [t for t in free if t.host != attempt.tracker.host] or free
+            tracker = min(others, key=lambda t: (len(t.running), t.name))
+            self._launch(task, tracker, speculative=True)
+            free = self._free_trackers(kind)
+            if not free:
+                return
+
+    # ------------------------------------------------------------------
+    # introspection for the Phase II scheduler
+    # ------------------------------------------------------------------
+    def attempts_on_context(self, context) -> List[TaskAttempt]:
+        out: List[TaskAttempt] = []
+        for tracker in self.trackers:
+            if tracker.context is context:
+                out.extend(tracker.running)
+        return out
+
+    def running_attempts(self) -> List[TaskAttempt]:
+        out: List[TaskAttempt] = []
+        for tracker in self.trackers:
+            out.extend(tracker.running)
+        return out

@@ -1,0 +1,108 @@
+"""Job-level slot schedulers: FIFO and the Hadoop FairScheduler.
+
+The paper's testbed runs the FairScheduler [5]; the RUBiS co-hosting
+experiment (Figure 8(d)) uses the default FIFO order as its baseline.
+
+A scheduler's single responsibility is ordering: given the jobs with
+runnable tasks, decide which job gets the next free slot.  The
+JobTracker handles everything else (locality, speculation, slot
+accounting).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import Job
+
+
+class SlotScheduler:
+    """Interface: rank jobs for the next slot assignment."""
+
+    name = "abstract"
+
+    def order(self, jobs: Sequence["Job"]) -> List["Job"]:
+        raise NotImplementedError
+
+
+class FIFOScheduler(SlotScheduler):
+    """Strict submission order: the oldest job takes every free slot."""
+
+    name = "fifo"
+
+    def order(self, jobs: Sequence["Job"]) -> List["Job"]:
+        return sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+
+
+class FairScheduler(SlotScheduler):
+    """Hadoop FairScheduler: favour the job furthest below fair share.
+
+    Jobs are ranked by number of currently running tasks (fewest first),
+    which equalizes slot allocation across concurrent jobs; submission
+    order breaks ties, preserving FIFO behaviour for a single job.
+    """
+
+    name = "fair"
+
+    def order(self, jobs: Sequence["Job"]) -> List["Job"]:
+        def running_tasks(job: "Job") -> int:
+            return sum(
+                len(t.running_attempts) for t in job.map_tasks + job.reduce_tasks
+            )
+
+        return sorted(jobs, key=lambda j: (running_tasks(j), j.submit_time, j.job_id))
+
+
+def _job_queue(job: "Job") -> str:
+    """Queue routing: ``queue:name`` prefix on the job name, else default."""
+    name = job.spec.name
+    if ":" in name:
+        return name.split(":", 1)[0]
+    return "default"
+
+
+class CapacityScheduler(SlotScheduler):
+    """Hadoop CapacityScheduler: per-queue guaranteed shares.
+
+    Queues are declared with fractional capacities (summing to <= 1).
+    A job joins queue ``q`` by naming itself ``q:jobname``.  The next
+    slot goes to the queue whose running-task share is furthest *below*
+    its configured capacity; inside a queue, FIFO order applies.  Unused
+    capacity spills over to the busiest queues (elasticity), matching
+    the real scheduler's behaviour.
+    """
+
+    name = "capacity"
+
+    def __init__(self, capacities: dict) -> None:
+        if not capacities:
+            raise ValueError("need at least one queue")
+        total = sum(capacities.values())
+        if total > 1.0 + 1e-9 or any(c <= 0 for c in capacities.values()):
+            raise ValueError("capacities must be positive and sum to <= 1")
+        self.capacities = dict(capacities)
+
+    def order(self, jobs: Sequence["Job"]) -> List["Job"]:
+        def running_tasks(job: "Job") -> int:
+            return sum(
+                len(t.running_attempts) for t in job.map_tasks + job.reduce_tasks
+            )
+
+        total_running = sum(running_tasks(j) for j in jobs) or 1
+        by_queue: dict = {}
+        for job in jobs:
+            by_queue.setdefault(_job_queue(job), []).append(job)
+
+        def queue_deficit(queue: str) -> float:
+            used = sum(running_tasks(j) for j in by_queue[queue]) / total_running
+            # unknown queues get a token share so they are never starved
+            guaranteed = self.capacities.get(queue, 0.05)
+            return used - guaranteed  # negative = below guarantee
+
+        ordered: List["Job"] = []
+        for queue in sorted(by_queue, key=queue_deficit):
+            ordered.extend(
+                sorted(by_queue[queue], key=lambda j: (j.submit_time, j.job_id))
+            )
+        return ordered

@@ -1,0 +1,481 @@
+"""Tasks and task attempts (the units the schedulers place and kill).
+
+A :class:`Task` is a logical unit of a job (one map per input block, or
+one reduce partition).  A :class:`TaskAttempt` is one execution of it on
+a TaskTracker; speculative execution and the Phase II arbiter may run
+several attempts of the same task -- the first to finish wins, the rest
+are killed, exactly as in Hadoop.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.hdfs.block import Block
+from repro.sim.sequence import chain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import Job
+    from repro.mapreduce.jobtracker import JobTracker
+    from repro.mapreduce.tracker import TaskTracker
+
+
+class TaskKind(enum.Enum):
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+class Task:
+    """A logical map or reduce task."""
+
+    def __init__(
+        self,
+        job: "Job",
+        kind: TaskKind,
+        index: int,
+        block: Optional[Block] = None,
+    ) -> None:
+        self.job = job
+        self.kind = kind
+        self.index = index
+        self.block = block  # input block for maps
+        self.attempts: List["TaskAttempt"] = []
+        self.completed = False
+        self.completed_at: Optional[float] = None
+        self.winning_attempt: Optional["TaskAttempt"] = None
+        # shuffle backlog for reduces scheduled after maps finish:
+        # host -> MB already waiting to be fetched
+        self.shuffle_backlog: Dict[str, float] = {}
+        self.maps_pending: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.job.spec.name}-{self.kind.value[0]}{self.index}"
+
+    @property
+    def running_attempts(self) -> List["TaskAttempt"]:
+        return [a for a in self.attempts if a.running]
+
+    @property
+    def scheduled(self) -> bool:
+        return self.completed or bool(self.running_attempts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, done={self.completed})"
+
+
+class TaskAttempt:
+    """One execution of a task on a specific TaskTracker."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        jt: "JobTracker",
+        task: Task,
+        tracker: "TaskTracker",
+        speculative: bool = False,
+    ) -> None:
+        TaskAttempt._next_id += 1
+        self.attempt_id = TaskAttempt._next_id
+        self.jt = jt
+        self.sim = jt.sim
+        self.task = task
+        self.tracker = tracker
+        self.speculative = speculative
+        self.started_at = self.sim.now
+        self.finished_at: Optional[float] = None
+        self.killed = False
+        self.running = True
+        self._mem_mb = 0.0
+        self._handles: List[object] = []  # active PoolEntry / Flow
+        self._progress_done = 0.0  # completed stage work fraction
+        self._stage_weights: List[float] = []
+        self._stage_index = 0
+        # shuffle state (reduces only)
+        self._pending_fetch: Dict[str, float] = {}
+        self._active_fetches = 0
+        self._maps_pending = 0
+        # True whenever the attempt is not actively fetching: before the
+        # startup stage seeds shuffle state (the task-level backlog
+        # carries early map completions) and after the shuffle drains
+        self._fetch_phase_over = True
+        self._output_file: Optional[str] = None
+        #: per-attempt work multiplier (data skew / slow node / GC)
+        self.work_factor = jt.work_multiplier_for(task.name, len(task.attempts))
+        task.attempts.append(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        profile = self.task.job.spec.profile
+        need = (
+            profile.map_mem_mb
+            if self.task.kind is TaskKind.MAP
+            else profile.reduce_mem_mb
+        )
+        if self.jt.dynamic_memory:
+            # DRM memory management: allocate what the task actually uses
+            self._mem_mb = need
+        else:
+            # stock Hadoop: fixed per-slot child-JVM heap, sized by the
+            # administrator to the node's memory (small guests get
+            # smaller -Xmx, as any sane mapred-site.xml would)
+            node_heap = min(
+                self.jt.slot_heap_mb,
+                0.4 * self.tracker.context.mem_capacity_mb,
+            )
+            self._mem_mb = max(need, node_heap)
+        self.tracker.context.alloc_mem(self._mem_mb)
+        if self.task.kind is TaskKind.MAP:
+            self._run_map()
+        else:
+            self._run_reduce()
+
+    def kill(self) -> None:
+        """Abort the attempt and release its resources and slot."""
+        if not self.running:
+            return
+        self.killed = True
+        self.running = False
+        for handle in self._handles:
+            self._cancel_handle(handle)
+        self._handles.clear()
+        self.tracker.context.free_mem(self._mem_mb)
+        self._mem_mb = 0.0
+        if self._output_file is not None and self._output_file in self.jt.fs.namenode.files:
+            self.jt.fs.namenode.delete_file(self._output_file)
+        self.tracker.release(self)
+        self.jt.on_attempt_done(self)
+
+    def _cancel_handle(self, handle: object) -> None:
+        from repro.sim.network import Flow
+        from repro.sim.pool import PoolEntry
+
+        if isinstance(handle, PoolEntry):
+            handle.pool.remove(handle)
+        elif isinstance(handle, Flow):
+            self.jt.fabric.cancel_flow(handle)
+
+    def _finish(self) -> None:
+        if self.killed or not self.running:
+            return
+        self.running = False
+        self.finished_at = self.sim.now
+        self.tracker.context.free_mem(self._mem_mb)
+        self._mem_mb = 0.0
+        self._handles.clear()
+        self.tracker.release(self)
+        self.jt.on_attempt_succeeded(self)
+
+    @property
+    def duration(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.sim.now
+        return end - self.started_at
+
+    # ------------------------------------------------------------------
+    # progress estimation (used by speculation and the Phase II LRM)
+    # ------------------------------------------------------------------
+    def progress(self) -> float:
+        """Fraction of the attempt's stage-weighted work completed."""
+        if not self.running:
+            return 1.0 if not self.killed else 0.0
+        total = sum(self._stage_weights) or 1.0
+        return min(1.0, self._progress_done / total)
+
+    def _begin_stages(self, weights: List[float]) -> None:
+        self._stage_weights = weights
+        self._stage_index = 0
+        self._progress_done = 0.0
+
+    def _stage_done(self) -> None:
+        if self._stage_index < len(self._stage_weights):
+            self._progress_done += self._stage_weights[self._stage_index]
+            self._stage_index += 1
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _track(self, handle: object) -> object:
+        self._handles = [
+            h for h in self._handles if not getattr(h, "done", False)
+        ]
+        self._handles.append(handle)
+        return handle
+
+    def _io_penalty(self) -> float:
+        if self.tracker.context.is_virtual:
+            return self.jt.overheads.sustained_io_penalty(self.task.job.spec.input_gb)
+        return 0.0
+
+    def _finish_if_alive(self) -> None:
+        if self.killed or not self.running:
+            return
+        self._finish()
+
+    # ------------------------------------------------------------------
+    # map execution: read input block -> compute -> spill map output
+    # ------------------------------------------------------------------
+    def _run_map(self) -> None:
+        task = self.task
+        job = task.job
+        profile = job.spec.profile
+        block = task.block
+        assert block is not None, "map task without an input block"
+        cpu_work = (
+            block.size_mb * profile.map_cpu_per_mb + profile.fixed_map_cpu
+        ) * self.work_factor
+        spill_mb = block.size_mb * profile.map_selectivity
+        startup = self.jt.task_startup_cpu_s
+        self._begin_stages([startup, block.size_mb, cpu_work, spill_mb])
+
+        def startup_stage(done: Callable[[], None]) -> None:
+            # JVM spawn + task initialization (a fixed CPU cost in Hadoop)
+            entry = self.tracker.context.run_cpu(
+                startup, on_complete=done, cap=1.0, label=f"{task.name}:init"
+            )
+            self._track(entry)
+
+        read_penalty = self._io_penalty() + 0.25 * max(0.0, self.work_factor - 1.0)
+
+        def read_stage(done: Callable[[], None]) -> None:
+            source = self.jt.fs.pick_replica(block, self.tracker.context)
+
+            def after_disk() -> None:
+                if self.killed:
+                    return
+                if source.context is self.tracker.context:
+                    done()
+                    return
+                flow = self.jt.fabric.start_flow(
+                    source.host,
+                    self.tracker.context.host,
+                    block.size_mb,
+                    on_complete=done,
+                    efficiency=min(
+                        source.context.net_efficiency(),
+                        self.tracker.context.net_efficiency(),
+                    ),
+                    label=f"{task.name}:input",
+                )
+                self._track(flow)
+
+            entry = source.read_block(
+                block,
+                after_disk,
+                efficiency_penalty=read_penalty,
+                cached=job.spec.input_cached,
+            )
+            self._track(entry)
+
+        def cpu_stage(done: Callable[[], None]) -> None:
+            entry = self.tracker.context.run_cpu(
+                cpu_work, on_complete=done, cap=1.0, label=f"{task.name}:cpu"
+            )
+            self._track(entry)
+
+        def spill_stage(done: Callable[[], None]) -> None:
+            if spill_mb <= 1e-9:
+                done()
+                return
+            entry = self.tracker.context.run_disk(
+                spill_mb,
+                on_complete=done,
+                label=f"{task.name}:spill",
+                efficiency_penalty=read_penalty,
+                cached=self.jt.io_cached(job),
+            )
+            self._track(entry)
+
+        chain(
+            [
+                lambda done: startup_stage(self._guard_stage(done)),
+                lambda done: read_stage(self._guard_stage(done)),
+                lambda done: cpu_stage(self._guard_stage(done)),
+                lambda done: spill_stage(self._guard_stage(done)),
+            ],
+            self._finish_if_alive,
+        )
+
+    def _guard_stage(self, done: Callable[[], None]) -> Callable[[], None]:
+        """Continuation that advances to the next stage unless killed."""
+
+        def guarded() -> None:
+            if self.killed or not self.running:
+                return
+            self._stage_done()
+            done()
+
+        return guarded
+
+    # ------------------------------------------------------------------
+    # reduce execution: shuffle -> merge -> reduce -> write output
+    # ------------------------------------------------------------------
+    def _run_reduce(self) -> None:
+        task = self.task
+        job = task.job
+        n_reduces = max(1, len(job.reduce_tasks))
+        shuffle_mb = job.map_output_mb / n_reduces
+        profile = job.spec.profile
+        merge_mb = shuffle_mb * self.jt.merge_io_factor
+        cpu_work = shuffle_mb * profile.reduce_cpu_per_mb * self.work_factor
+        out_mb = job.output_mb / n_reduces
+        self._begin_stages(
+            [self.jt.task_startup_cpu_s, shuffle_mb, merge_mb, cpu_work, out_mb]
+        )
+
+        def begin_shuffle() -> None:
+            if self.killed or not self.running:
+                return
+            self._stage_done()
+            # seed shuffle state from maps that already finished
+            self._pending_fetch = dict(task.shuffle_backlog)
+            self._maps_pending = task.maps_pending
+            self._fetch_phase_over = False
+            self._pump_fetches()
+
+        entry = self.tracker.context.run_cpu(
+            self.jt.task_startup_cpu_s,
+            on_complete=begin_shuffle,
+            cap=1.0,
+            label=f"{task.name}:init",
+        )
+        self._track(entry)
+
+    # -- shuffle ---------------------------------------------------------
+    def notify_map_output(self, host: str, mb: float) -> None:
+        """Called by the JobTracker when a map of this job completes."""
+        if not self.running or self.task.kind is not TaskKind.REDUCE:
+            return
+        if self._fetch_phase_over:
+            # not fetching yet (startup stage): the task-level backlog,
+            # which the JobTracker updates before notifying, carries it
+            return
+        self._maps_pending = max(0, self._maps_pending - 1)
+        if mb > 0:
+            self._pending_fetch[host] = self._pending_fetch.get(host, 0.0) + mb
+        self._pump_fetches()
+
+    def notify_map_lost(self, host: str, mb: float) -> None:
+        """A completed map's output vanished with its node; the map will
+        re-run and re-announce, so one more map is pending and any bytes
+        still queued for fetch from the dead host are dropped."""
+        if not self.running or self.task.kind is not TaskKind.REDUCE:
+            return
+        if self._fetch_phase_over:
+            # the shuffle already drained: this reducer has its copy
+            return
+        self._maps_pending += 1
+        if host in self._pending_fetch and mb > 0:
+            remaining = self._pending_fetch[host] - mb
+            if remaining > 1e-9:
+                self._pending_fetch[host] = remaining
+            else:
+                del self._pending_fetch[host]
+
+    def _pump_fetches(self) -> None:
+        if self.killed or not self.running or self._fetch_phase_over:
+            return
+        while (
+            self._active_fetches < self.jt.max_parallel_fetches
+            and self._pending_fetch
+        ):
+            host = max(self._pending_fetch, key=lambda h: (self._pending_fetch[h], h))
+            mb = self._pending_fetch.pop(host)
+            self._active_fetches += 1
+            # same-PM fetches become loopback flows inside the fabric
+            flow = self.jt.fabric.start_flow(
+                host,
+                self.tracker.context.host,
+                mb,
+                on_complete=lambda: self._fetch_done(),
+                efficiency=self.tracker.context.net_efficiency(),
+                label=f"{self.task.name}:shuffle",
+            )
+            self._track(flow)
+        self._maybe_end_shuffle()
+
+    def _fetch_done(self) -> None:
+        if self.killed or not self.running:
+            return
+        self._active_fetches -= 1
+        self._pump_fetches()
+
+    def _maybe_end_shuffle(self) -> None:
+        if (
+            self._maps_pending == 0
+            and not self._pending_fetch
+            and self._active_fetches == 0
+            and not self._fetch_phase_over
+        ):
+            self._fetch_phase_over = True
+            self._stage_done()
+            self._merge_phase()
+
+    # -- merge / reduce / output ------------------------------------------
+    def _merge_phase(self) -> None:
+        task = self.task
+        job = task.job
+        n_reduces = max(1, len(job.reduce_tasks))
+        merge_mb = job.map_output_mb / n_reduces
+        profile = job.spec.profile
+        cpu_work = merge_mb * profile.reduce_cpu_per_mb * self.work_factor
+        out_mb = job.output_mb / n_reduces
+
+        def merge_stage(done: Callable[[], None]) -> None:
+            if merge_mb <= 1e-9:
+                done()
+                return
+            # slow-node/skew factor degrades this attempt's I/O too
+            merge_penalty = self._io_penalty() + 0.25 * max(
+                0.0, self.work_factor - 1.0
+            )
+            entry = self.tracker.context.run_disk(
+                merge_mb,
+                on_complete=done,
+                label=f"{task.name}:merge",
+                efficiency_penalty=merge_penalty,
+                cached=self.jt.io_cached(job),
+            )
+            self._track(entry)
+
+        def cpu_stage(done: Callable[[], None]) -> None:
+            if cpu_work <= 1e-9:
+                done()
+                return
+            entry = self.tracker.context.run_cpu(
+                cpu_work, on_complete=done, cap=1.0, label=f"{task.name}:cpu"
+            )
+            self._track(entry)
+
+        def output_stage(done: Callable[[], None]) -> None:
+            if out_mb <= 1e-9:
+                done()
+                return
+            self._output_file = f"{task.name}-a{self.attempt_id}.out"
+            self.jt.fs.create_file(
+                self._output_file,
+                out_mb,
+                self.tracker.context,
+                done,
+                efficiency_penalty=self._io_penalty(),
+                cached=self.jt.io_cached(job),
+            )
+
+        chain(
+            [
+                lambda done: merge_stage(self._guard_stage(done)),
+                lambda done: cpu_stage(self._guard_stage(done)),
+                lambda done: output_stage(self._guard_stage(done)),
+            ],
+            self._finish_if_alive,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskAttempt({self.task.name!r}#{self.attempt_id}, "
+            f"on={self.tracker.name!r}, running={self.running})"
+        )

@@ -1,0 +1,77 @@
+"""TaskTrackers: per-node slot management.
+
+The paper's configuration is 2 map + 2 reduce slots per node (Hadoop
+0.22 defaults for dual-core machines); Figure 2(b) varies these to give
+CPU-bound jobs more concurrency on multi-VM hosts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.cluster.machine import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.task import TaskAttempt, TaskKind
+
+
+class TaskTracker:
+    """One Hadoop worker node bound to an execution context."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        map_slots: int = 2,
+        reduce_slots: int = 2,
+    ) -> None:
+        if map_slots < 0 or reduce_slots < 0:
+            raise ValueError("slot counts must be non-negative")
+        self.context = context
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.running: List["TaskAttempt"] = []
+        self.alive = True
+
+    @property
+    def name(self) -> str:
+        return f"tt-{self.context.name}"
+
+    @property
+    def host(self) -> str:
+        return self.context.host
+
+    def _running_of(self, kind: "TaskKind") -> int:
+        return sum(1 for a in self.running if a.task.kind is kind)
+
+    def free_map_slots(self) -> int:
+        from repro.mapreduce.task import TaskKind
+
+        if not self.alive:
+            return 0
+        return self.map_slots - self._running_of(TaskKind.MAP)
+
+    def free_reduce_slots(self) -> int:
+        from repro.mapreduce.task import TaskKind
+
+        if not self.alive:
+            return 0
+        return self.reduce_slots - self._running_of(TaskKind.REDUCE)
+
+    def assign(self, attempt: "TaskAttempt") -> None:
+        from repro.mapreduce.task import TaskKind
+
+        free = (
+            self.free_map_slots()
+            if attempt.task.kind is TaskKind.MAP
+            else self.free_reduce_slots()
+        )
+        if free <= 0:
+            raise RuntimeError(f"{self.name} has no free {attempt.task.kind.value} slot")
+        self.running.append(attempt)
+
+    def release(self, attempt: "TaskAttempt") -> None:
+        if attempt in self.running:
+            self.running.remove(attempt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskTracker({self.name!r}, running={len(self.running)})"

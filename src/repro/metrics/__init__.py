@@ -1,0 +1,13 @@
+"""Metrics: utilization sampling, energy accounting, report tables."""
+
+from repro.metrics.collector import UtilizationCollector
+from repro.metrics.energy import EnergyReport, perf_per_energy
+from repro.metrics.report import format_table, format_series
+
+__all__ = [
+    "UtilizationCollector",
+    "EnergyReport",
+    "perf_per_energy",
+    "format_table",
+    "format_series",
+]

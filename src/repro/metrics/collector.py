@@ -1,0 +1,70 @@
+"""Periodic utilization sampling across a cluster (Figure 10(a))."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceSet
+
+
+class UtilizationCollector:
+    """Samples CPU / memory / disk utilization of every PM on a cadence.
+
+    Traces are keyed ``cpu``, ``mem``, ``io`` (cluster means) plus
+    ``cpu:<pm>`` etc. per machine.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        interval_s: float = 60.0,
+        per_machine: bool = False,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self.per_machine = per_machine
+        self.traces = TraceSet()
+        self._cancel: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        if self._cancel is not None:
+            raise RuntimeError("collector already started")
+        self._sample()
+        self._cancel = self.sim.call_every(self.interval_s, self._sample)
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _mem_utilization(self, pm) -> float:
+        used = pm.native.mem_used_mb + sum(vm.mem_used_mb for vm in pm.vms)
+        return min(1.0, used / pm.spec.mem_mb) if pm.spec.mem_mb else 0.0
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        pms = self.cluster.pms
+        if not pms:
+            return
+        cpu = sum(pm.cpu_pool.utilization for pm in pms) / len(pms)
+        io = sum(pm.disk_pool.utilization for pm in pms) / len(pms)
+        mem = sum(self._mem_utilization(pm) for pm in pms) / len(pms)
+        self.traces.record("cpu", now, cpu)
+        self.traces.record("io", now, io)
+        self.traces.record("mem", now, mem)
+        if self.per_machine:
+            for pm in pms:
+                self.traces.record(f"cpu:{pm.name}", now, pm.cpu_pool.utilization)
+                self.traces.record(f"io:{pm.name}", now, pm.disk_pool.utilization)
+                self.traces.record(f"mem:{pm.name}", now, self._mem_utilization(pm))
+
+    def mean(self, key: str) -> float:
+        if key not in self.traces:
+            return 0.0
+        return self.traces[key].mean()

@@ -1,0 +1,61 @@
+"""Energy summaries and the Performance/Energy design metric.
+
+The paper's cross-platform comparison (Figure 9(c)) ranks cluster
+designs by energy, server count, utilization and Performance/Energy --
+where performance is the reciprocal of the mean job completion time,
+so higher is better on both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def perf_per_energy(mean_jct_s: float, energy_joules: float) -> float:
+    """Performance per energy: ``(1 / JCT) / energy`` scaled for readability.
+
+    Scaled by 1e9 so typical simulated values land near 1.0.
+    """
+    if mean_jct_s <= 0 or energy_joules <= 0:
+        return 0.0
+    return 1e9 / (mean_jct_s * energy_joules)
+
+
+@dataclass
+class EnergyReport:
+    """Aggregate outcome of one cluster-design run."""
+
+    design: str
+    mean_jct_s: float
+    energy_joules: float
+    servers: int
+    utilization: float
+
+    @property
+    def perf_per_energy(self) -> float:
+        return perf_per_energy(self.mean_jct_s, self.energy_joules)
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_joules / 3.6e6
+
+    @staticmethod
+    def normalize(reports: Sequence["EnergyReport"]) -> List[dict]:
+        """Per-metric max-normalized rows, as plotted in Figure 9(c)."""
+        if not reports:
+            return []
+        max_ppe = max(r.perf_per_energy for r in reports) or 1.0
+        max_energy = max(r.energy_joules for r in reports) or 1.0
+        max_servers = max(r.servers for r in reports) or 1
+        max_util = max(r.utilization for r in reports) or 1.0
+        return [
+            {
+                "design": r.design,
+                "perf_per_energy": r.perf_per_energy / max_ppe,
+                "energy": r.energy_joules / max_energy,
+                "servers": r.servers / max_servers,
+                "utilization": r.utilization / max_util,
+            }
+            for r in reports
+        ]

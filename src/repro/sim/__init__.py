@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation core.
+
+This package provides the substrate every other subsystem of the
+HybridMR reproduction is built on:
+
+- :mod:`repro.sim.engine` -- the event loop and simulation clock.
+- :mod:`repro.sim.pool` -- fluid, max-min fair resource pools used to
+  model CPU, disk and NIC sharing among concurrent activities.
+- :mod:`repro.sim.network` -- a fabric of coupled pools implementing
+  max-min fair allocation for host-to-host flows.
+- :mod:`repro.sim.trace` -- lightweight time-series recording used by
+  the metrics and experiment layers.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.pool import ResourcePool, PoolEntry
+from repro.sim.network import NetworkFabric, Flow
+from repro.sim.trace import Trace, TraceSet
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ResourcePool",
+    "PoolEntry",
+    "NetworkFabric",
+    "Flow",
+    "Trace",
+    "TraceSet",
+]

@@ -1,0 +1,280 @@
+"""Host-to-host network fabric with max-min fair flow rates.
+
+The fabric models each host's NIC as an uplink and a downlink of fixed
+capacity (1 Gbps ~ 119 MB/s in the paper's testbed).  Every active flow
+crosses its source's uplink and destination's downlink; rates are
+assigned by progressive filling (the classic max-min fair allocation),
+recomputed whenever a flow starts or finishes.
+
+Flows between two endpoints on the *same* host (e.g. two VMs, or a
+compute VM talking to a datanode VM it shares a PM with) never touch the
+NIC: they ride a per-host loopback channel with much higher capacity,
+which is what makes the paper's Same-Host configuration beat Cross-Host
+(Figure 2(a)) despite having fewer cores per VM.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+_EPS = 1e-9
+
+
+class Flow:
+    """A point-to-point transfer of ``mb`` megabytes."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "remaining",
+        "on_complete",
+        "rate",
+        "efficiency",
+        "done",
+        "label",
+        "started_at",
+        "is_loopback",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        mb: float,
+        on_complete: Optional[Callable[[], None]],
+        efficiency: float,
+        label: str,
+        started_at: float,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.remaining = mb
+        self.on_complete = on_complete
+        self.rate = 0.0
+        self.efficiency = efficiency
+        self.done = False
+        self.label = label
+        self.started_at = started_at
+        self.is_loopback = False
+
+    def eta(self) -> float:
+        if self.remaining <= _EPS:
+            return 0.0
+        rate = self.rate * self.efficiency
+        if rate <= _EPS:
+            return math.inf
+        return self.remaining / rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.src}->{self.dst}, left={self.remaining:.1f}MB)"
+
+
+class _HostLinks:
+    __slots__ = ("up", "down", "loopback", "group")
+
+    def __init__(self, up: float, down: float, loopback: float, group: str) -> None:
+        self.up = up
+        self.down = down
+        self.loopback = loopback
+        self.group = group
+
+
+def maxmin_flow_rates(
+    flows: List[Flow], links: Dict[str, _HostLinks]
+) -> List[float]:
+    """Progressive-filling max-min fair rates for cross-host flows.
+
+    Each flow crosses ``links[src].up`` and ``links[dst].down``.  Pure
+    function for testability.
+    """
+    n = len(flows)
+    rates = [0.0] * n
+    if n == 0:
+        return rates
+    # remaining capacity per (host, direction) link
+    cap: Dict[tuple, float] = {}
+    users: Dict[tuple, List[int]] = {}
+    for i, flow in enumerate(flows):
+        for key, capacity in (
+            ((flow.src, "up"), links[flow.src].up),
+            ((flow.dst, "down"), links[flow.dst].down),
+        ):
+            cap.setdefault(key, capacity)
+            users.setdefault(key, []).append(i)
+    unfixed = set(range(n))
+    while unfixed:
+        # find the most constrained link
+        best_key = None
+        best_share = math.inf
+        for key, flow_ids in users.items():
+            active = [i for i in flow_ids if i in unfixed]
+            if not active:
+                continue
+            share = cap[key] / len(active)
+            if share < best_share - _EPS:
+                best_share = share
+                best_key = key
+        if best_key is None:
+            break
+        for i in [i for i in users[best_key] if i in unfixed]:
+            rates[i] = best_share
+            unfixed.discard(i)
+            # charge this flow's rate to its other link
+            for key in ((flows[i].src, "up"), (flows[i].dst, "down")):
+                if key != best_key:
+                    cap[key] = max(0.0, cap[key] - best_share)
+        cap[best_key] = 0.0
+    return rates
+
+
+class NetworkFabric:
+    """All NICs plus loopbacks of a cluster; owns active flow state."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._links: Dict[str, _HostLinks] = {}
+        self._flows: List[Flow] = []
+        self._loop_flows: List[Flow] = []
+        self._last_update = sim.now
+        self._completion_event: Optional[Event] = None
+        self.bytes_transferred_mb = 0.0
+        self.cross_host_mb = 0.0
+
+    def register_host(
+        self,
+        host: str,
+        up_mbps: float = 119.0,
+        down_mbps: float = 119.0,
+        loopback_mbps: float = 2000.0,
+        group: Optional[str] = None,
+    ) -> None:
+        """Declare a host and its NIC capacities (MB/s).
+
+        ``group`` marks co-location: flows between hosts of the same
+        group (e.g. two VMs on one physical machine) never touch the
+        NICs -- they ride the source's loopback channel.
+        """
+        if host in self._links:
+            raise ValueError(f"host {host!r} already registered")
+        self._links[host] = _HostLinks(up_mbps, down_mbps, loopback_mbps, group or host)
+
+    def has_host(self, host: str) -> bool:
+        return host in self._links
+
+    def set_group(self, host: str, group: str) -> None:
+        """Re-home a host to another co-location group (VM migration)."""
+        if host not in self._links:
+            raise KeyError(f"unknown host {host!r}")
+        self._advance()
+        self._links[host].group = group
+        self._rebalance()
+
+    def colocated(self, a: str, b: str) -> bool:
+        return a == b or self._links[a].group == self._links[b].group
+
+    def start_flow(
+        self,
+        src: str,
+        dst: str,
+        mb: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        efficiency: float = 1.0,
+        label: str = "",
+    ) -> Flow:
+        """Begin transferring ``mb`` megabytes from ``src`` to ``dst``."""
+        for host in (src, dst):
+            if host not in self._links:
+                raise KeyError(f"unknown host {host!r}")
+        if mb < 0:
+            raise ValueError("flow size must be non-negative")
+        self._advance()
+        flow = Flow(src, dst, mb, on_complete, efficiency, label, self.sim.now)
+        if mb <= _EPS:
+            flow.done = True
+            if on_complete is not None:
+                self.sim.schedule(0.0, on_complete)
+            self._rebalance()
+            return flow
+        if self.colocated(src, dst):
+            flow.is_loopback = True
+            self._loop_flows.append(flow)
+        else:
+            self._flows.append(flow)
+        self._rebalance()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        if flow.done:
+            return
+        self._advance()
+        if flow in self._flows:
+            self._flows.remove(flow)
+        elif flow in self._loop_flows:
+            self._loop_flows.remove(flow)
+        flow.done = True
+        flow.rate = 0.0
+        self._rebalance()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows) + len(self._loop_flows)
+
+    # ------------------------------------------------------------------
+    # internals (same advance/rebalance discipline as ResourcePool)
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        finished: List[Flow] = []
+        for flow in self._flows + self._loop_flows:
+            if flow.rate <= _EPS:
+                continue
+            moved = flow.rate * flow.efficiency * dt
+            moved = min(moved, flow.remaining)
+            flow.remaining -= moved
+            self.bytes_transferred_mb += moved
+            if not flow.is_loopback:
+                self.cross_host_mb += moved
+            if flow.remaining <= _EPS:
+                finished.append(flow)
+        for flow in finished:
+            if flow in self._flows:
+                self._flows.remove(flow)
+            else:
+                self._loop_flows.remove(flow)
+            flow.done = True
+            flow.rate = 0.0
+            if flow.on_complete is not None:
+                flow.on_complete()
+
+    def _rebalance(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        rates = maxmin_flow_rates(self._flows, self._links)
+        next_eta = math.inf
+        for flow, rate in zip(self._flows, rates):
+            flow.rate = rate
+            next_eta = min(next_eta, flow.eta())
+        # loopback flows share the per-host loopback channel equally
+        loop_users: Dict[str, int] = {}
+        for flow in self._loop_flows:
+            loop_users[flow.src] = loop_users.get(flow.src, 0) + 1
+        for flow in self._loop_flows:
+            flow.rate = self._links[flow.src].loopback / loop_users[flow.src]
+            next_eta = min(next_eta, flow.eta())
+        if math.isfinite(next_eta):
+            self._completion_event = self.sim.schedule(
+                max(0.0, next_eta), self._tick
+            )
+
+    def _tick(self) -> None:
+        self._completion_event = None
+        self._advance()
+        self._rebalance()

@@ -1,0 +1,116 @@
+"""Time-series recording for metrics and experiment output.
+
+A :class:`Trace` is an append-only sequence of ``(time, value)`` samples
+with summary statistics; a :class:`TraceSet` is a named collection used
+by the metrics layer (one trace per PM utilization, per job, per SLA
+probe...).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Trace:
+    """An append-only time series."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1] - 1e-9:
+            raise ValueError(
+                f"trace {self.name!r}: samples must be time-ordered "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        """Arithmetic mean of samples (0.0 for an empty trace)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean weighted by holding time (step interpolation)."""
+        if not self.values:
+            return 0.0
+        if len(self.values) == 1:
+            return self.values[0]
+        end = until if until is not None else self.times[-1]
+        total = 0.0
+        span = 0.0
+        for i in range(len(self.values)):
+            t0 = self.times[i]
+            t1 = self.times[i + 1] if i + 1 < len(self.times) else end
+            dt = max(0.0, t1 - t0)
+            total += self.values[i] * dt
+            span += dt
+        if span <= 0:
+            return self.values[-1]
+        return total / span
+
+    def value_at(self, time: float) -> Optional[float]:
+        """Step-interpolated value at ``time`` (None before first sample)."""
+        idx = bisect_right(self.times, time) - 1
+        if idx < 0:
+            return None
+        return self.values[idx]
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Samples with ``t0 <= time <= t1`` as a new trace."""
+        out = Trace(self.name)
+        for t, v in self:
+            if t0 <= t <= t1:
+                out.record(t, v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.name!r}, n={len(self)}, mean={self.mean():.3f})"
+
+
+class TraceSet:
+    """A named collection of traces."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, Trace] = {}
+
+    def get(self, name: str) -> Trace:
+        if name not in self._traces:
+            self._traces[name] = Trace(name)
+        return self._traces[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.get(name).record(time, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._traces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __getitem__(self, name: str) -> Trace:
+        return self._traces[name]
+
+    def __len__(self) -> int:
+        return len(self._traces)

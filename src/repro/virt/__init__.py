@@ -1,0 +1,31 @@
+"""Virtualization substrate: Xen-style VMs, overheads, live migration.
+
+The paper virtualizes its 24 servers with Xen 3.4.2 (2 VMs per PM, each
+1 vCPU / 1 GB).  This package models the pieces of that stack the
+evaluation depends on:
+
+- :mod:`repro.virt.overheads` -- the empirical overhead relationships
+  from Section II (CPU ~5%, I/O ~15% and widening with VM density and
+  data size).
+- :mod:`repro.virt.vm` -- the guest VM execution context plus the Dom-0
+  quasi-native context of Figure 2(c).
+- :mod:`repro.virt.migration` -- pre-copy live migration with workload-
+  dependent migration time and downtime (Figures 10(b), 10(c)).
+- :mod:`repro.virt.throttle` -- the cgroups-style CPU/IO actuators the
+  Phase II scheduler uses to squeeze batch work.
+"""
+
+from repro.virt.overheads import OverheadModel, DEFAULT_OVERHEADS
+from repro.virt.vm import VirtualMachine, Dom0Context
+from repro.virt.migration import LiveMigration, MigrationRecord
+from repro.virt.throttle import CgroupController
+
+__all__ = [
+    "OverheadModel",
+    "DEFAULT_OVERHEADS",
+    "VirtualMachine",
+    "Dom0Context",
+    "LiveMigration",
+    "MigrationRecord",
+    "CgroupController",
+]

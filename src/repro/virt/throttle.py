@@ -1,0 +1,62 @@
+"""cgroups-style resource actuation.
+
+The paper controls per-task I/O bandwidth with the Linux cgroups blkio
+throttle and CPU with Xen credit-scheduler caps.  This module provides
+the same control surface over simulated VMs, with bookkeeping so the
+Phase II scheduler (and tests) can audit every actuation taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.virt.vm import VirtualMachine
+
+
+@dataclass
+class ActuationEvent:
+    """One control action applied to a VM."""
+
+    time: float
+    vm_name: str
+    knob: str  # "cpu", "io", "pause", "resume"
+    value: Optional[float]
+
+
+class CgroupController:
+    """Apply and audit CPU/IO limits on a set of VMs."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.log: List[ActuationEvent] = []
+
+    def set_cpu_limit(self, vm: VirtualMachine, fraction: float) -> None:
+        """Cap the VM at ``fraction`` of its vCPU allocation."""
+        vm.set_cpu_fraction(fraction)
+        self.log.append(ActuationEvent(self.sim.now, vm.name, "cpu", fraction))
+
+    def set_io_limit(self, vm: VirtualMachine, mbps: Optional[float]) -> None:
+        """Throttle the VM's block I/O to ``mbps`` (None = unlimited)."""
+        vm.set_io_limit(mbps)
+        self.log.append(ActuationEvent(self.sim.now, vm.name, "io", mbps))
+
+    def pause(self, vm: VirtualMachine) -> None:
+        vm.pause()
+        self.log.append(ActuationEvent(self.sim.now, vm.name, "pause", None))
+
+    def resume(self, vm: VirtualMachine) -> None:
+        vm.resume()
+        self.log.append(ActuationEvent(self.sim.now, vm.name, "resume", None))
+
+    def release_all(self, vm: VirtualMachine) -> None:
+        """Remove every limit from the VM."""
+        vm.set_cpu_fraction(1.0)
+        vm.set_io_limit(None)
+        if vm.paused:
+            vm.resume()
+        self.log.append(ActuationEvent(self.sim.now, vm.name, "release", None))
+
+    def actions_for(self, vm_name: str) -> List[ActuationEvent]:
+        return [e for e in self.log if e.vm_name == vm_name]

@@ -1,0 +1,298 @@
+"""Guest virtual machines and the Dom-0 privileged context.
+
+A :class:`VirtualMachine` is an :class:`~repro.cluster.machine.ExecutionContext`
+whose work passes through the hypervisor: efficiencies come from the
+:class:`~repro.virt.overheads.OverheadModel` (and depend on how many VMs
+share the host), and rates are capped so the guest can never exceed its
+vCPU allocation regardless of how idle the host is.  The cap/weight
+discipline mimics Xen's credit scheduler: a VM's tasks collectively get
+one VM-weight of CPU, divided among them.
+
+The Phase II scheduler actuates on VMs through three knobs, all modelled
+here: ``cpu_fraction`` (credit-scheduler cap), ``io_limit_mbps``
+(cgroups blkio throttle) and ``pause()``/``resume()``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from repro.cluster.machine import ExecutionContext, PhysicalMachine
+from repro.cluster.resources import DEFAULT_VM_SPEC, Resources
+from repro.sim.pool import PoolEntry
+from repro.virt.overheads import DEFAULT_OVERHEADS, OverheadModel
+
+
+class VirtualMachine(ExecutionContext):
+    """A Xen-style guest (default flavour: 1 vCPU, 1 GB RAM)."""
+
+    def __init__(
+        self,
+        name: str,
+        pm: PhysicalMachine,
+        spec: Resources = DEFAULT_VM_SPEC,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+        weight: float = 1.0,
+    ) -> None:
+        super().__init__(name, pm, spec.mem_mb)
+        self.spec = spec
+        self.overheads = overheads
+        self.vm_weight = weight
+        self.paused = False
+        #: credit-scheduler style cap: fraction of vCPU allocation usable.
+        #: values above 1.0 are work-conserving uncapping (the DRM grants
+        #: idle host cycles beyond the nominal vCPU allocation)
+        self.cpu_fraction = 1.0
+        #: cgroups blkio throttle in MB/s (None = unthrottled)
+        self.io_limit_mbps: Optional[float] = None
+        #: blkio weight: relative disk share vs other VMs on the host
+        self.io_weight = 1.0
+        self._requested_caps: Dict[int, float] = {}
+        pm.attach_vm(self)
+        # the guest gets its own network endpoint, capped by the virtual
+        # NIC ceiling and co-located (loopback) with its host's group
+        net_cap = min(spec.net_mbps, overheads.vm_net_cap_mbps * max(1.0, spec.cpu_cores))
+        pm.fabric.register_host(
+            name, up_mbps=net_cap, down_mbps=net_cap, group=pm.name
+        )
+
+    # ------------------------------------------------------------------
+    # context interface
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The guest's own network endpoint (see fabric groups)."""
+        return self.name
+
+    @property
+    def is_virtual(self) -> bool:
+        return True
+
+    def cpu_efficiency(self) -> float:
+        return self.overheads.vm_cpu_efficiency(self._pm.vm_count)
+
+    def disk_efficiency(self) -> float:
+        eff = self.overheads.vm_io_efficiency(self._pm.vm_count)
+        if self.active_cpu_entries > 0 and self.active_disk_entries > 0:
+            eff -= self.overheads.mixed_workload_penalty
+        return max(self.overheads.floor, eff)
+
+    def net_efficiency(self) -> float:
+        return self.overheads.net_eff
+
+    def cpu_cap_per_entry(self, requested_cap: float) -> float:
+        if self.paused:
+            return 0.0
+        n = max(1, self.active_cpu_entries + 1)
+        share = self.spec.cpu_cores * self.cpu_fraction / n
+        return min(requested_cap, max(share, 1e-6))
+
+    def disk_cap_per_entry(self, requested_cap: float) -> float:
+        if self.paused:
+            return 0.0
+        if self.io_limit_mbps is None:
+            return requested_cap
+        n = max(1, self.active_disk_entries + 1)
+        return min(requested_cap, max(self.io_limit_mbps / n, 1e-6))
+
+    def cpu_weight_per_entry(self) -> float:
+        # the VM's aggregate weight stays constant no matter how many
+        # tasks it runs, like a credit-scheduler domain weight
+        n = max(1, self.active_cpu_entries + 1)
+        return self.vm_weight / n
+
+    # ------------------------------------------------------------------
+    # tracking requested caps so refreshes can recompute shares
+    # ------------------------------------------------------------------
+    def run_cpu(self, core_seconds, on_complete=None, weight=1.0, cap=1.0, label=""):
+        entry = super().run_cpu(core_seconds, on_complete, weight, cap, label)
+        if not entry.done:
+            self._requested_caps[id(entry)] = cap
+            self.refresh_entries()
+        return entry
+
+    def run_disk(
+        self,
+        mb,
+        on_complete=None,
+        weight=1.0,
+        cap=math.inf,
+        label="",
+        efficiency_penalty=0.0,
+        cached=False,
+    ):
+        entry = super().run_disk(
+            mb, on_complete, weight, cap, label, efficiency_penalty, cached
+        )
+        if not entry.done and not cached:
+            self._requested_caps[id(entry)] = cap
+            self.refresh_entries()
+        return entry
+
+    def refresh_entries(self) -> None:
+        """Recompute caps, weights and efficiencies for in-flight work."""
+        self._cpu_entries[:] = [e for e in self._cpu_entries if not e.done]
+        self._disk_entries[:] = [e for e in self._disk_entries if not e.done]
+        live = {id(e) for e in self._cpu_entries} | {id(e) for e in self._disk_entries}
+        self._requested_caps = {
+            k: v for k, v in self._requested_caps.items() if k in live
+        }
+        cpu_eff = max(0.05, self.cpu_efficiency() * self.memory_pressure_factor())
+        n_cpu = max(1, len(self._cpu_entries))
+        cpu_share = self.spec.cpu_cores * self.cpu_fraction / n_cpu
+        for entry in self._cpu_entries:
+            requested = self._requested_caps.get(id(entry), 1.0)
+            entry.set_cap(0.0 if self.paused else min(requested, max(cpu_share, 1e-6)))
+            entry.set_weight(self.vm_weight / n_cpu)
+            entry.set_efficiency(cpu_eff)
+        base_disk_eff = self.disk_efficiency()
+        live_disk = {id(e) for e in self._disk_entries}
+        self._disk_penalties = {
+            k: v for k, v in self._disk_penalties.items() if k in live_disk
+        }
+        n_disk = max(1, len(self._disk_entries))
+        for entry in self._disk_entries:
+            requested = self._requested_caps.get(id(entry), math.inf)
+            if self.paused:
+                entry.set_cap(0.0)
+            elif self.io_limit_mbps is not None:
+                entry.set_cap(min(requested, max(self.io_limit_mbps / n_disk, 1e-6)))
+            else:
+                entry.set_cap(requested)
+            entry.set_weight(self.io_weight / n_disk)
+            penalty = self._disk_penalties.get(id(entry), 0.0)
+            entry.set_efficiency(max(0.05, base_disk_eff - penalty))
+        self._memio_entries[:] = [e for e in self._memio_entries if not e.done]
+        for entry in self._memio_entries:
+            entry.set_cap(0.0 if self.paused else math.inf)
+
+    def update_requested_cap(self, entry: PoolEntry, cap: float) -> None:
+        """Change the rate ceiling an in-flight entry asked for.
+
+        Used by interactive services whose demand varies epoch to epoch;
+        going through the VM keeps the credit-scheduler share math
+        consistent on the next :meth:`refresh_entries`.
+        """
+        if cap < 0:
+            raise ValueError("cap must be non-negative")
+        self._requested_caps[id(entry)] = cap
+        self.refresh_entries()
+
+    # ------------------------------------------------------------------
+    # actuators
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Freeze the guest (entries stall at rate 0, nothing is lost)."""
+        if self.paused:
+            return
+        self.paused = True
+        self.refresh_entries()
+
+    def resume(self) -> None:
+        if not self.paused:
+            return
+        self.paused = False
+        self.refresh_entries()
+
+    def set_cpu_fraction(self, fraction: float) -> None:
+        """Credit-scheduler cap as a fraction of the vCPU allocation.
+
+        Values in (1.0, host_cores/vcpus] grant idle host cycles beyond
+        the nominal allocation (work-conserving mode, used by the DRM's
+        CPU management).
+        """
+        if fraction < 0.0:
+            raise ValueError("fraction must be non-negative")
+        max_fraction = self._pm.spec.cpu_cores / max(self.spec.cpu_cores, 1e-9)
+        self.cpu_fraction = min(fraction, max_fraction)
+        self.refresh_entries()
+
+    def set_io_limit(self, mbps: Optional[float]) -> None:
+        """cgroups blkio-style throttle (None removes the limit)."""
+        if mbps is not None and mbps < 0:
+            raise ValueError("io limit must be non-negative")
+        self.io_limit_mbps = mbps
+        self.refresh_entries()
+
+    def set_io_weight(self, weight: float) -> None:
+        """cgroups blkio weight: relative disk priority on the host."""
+        if weight <= 0:
+            raise ValueError("io weight must be positive")
+        self.io_weight = weight
+        self.refresh_entries()
+
+    def balloon_to(self, mem_mb: float) -> None:
+        """Resize the guest's memory (Xen ballooning).
+
+        The DRM's memory manager moves capacity between collocated VMs;
+        shrinking below current usage creates paging pressure rather
+        than failing, as with a real balloon driver.
+        """
+        if mem_mb <= 0:
+            raise ValueError("memory size must be positive")
+        self.mem_capacity_mb = mem_mb
+        self.refresh_entries()
+
+    # ------------------------------------------------------------------
+    # relocation (used by live migration)
+    # ------------------------------------------------------------------
+    def relocate(self, new_pm: PhysicalMachine) -> None:
+        """Instantly rebind the VM to another host.
+
+        Live migration semantics (transfer time, downtime) live in
+        :mod:`repro.virt.migration`; this is the final placement switch.
+        In-flight entries are *not* carried across machine pools -- the
+        migration module quiesces the VM first.
+        """
+        if self._cpu_entries or self._disk_entries or self._memio_entries:
+            raise RuntimeError(
+                f"cannot relocate {self.name} with in-flight pool entries"
+            )
+        self._pm.detach_vm(self)
+        self._pm = new_pm
+        new_pm.attach_vm(self)
+        new_pm.fabric.set_group(self.name, new_pm.name)
+
+    @property
+    def busy(self) -> bool:
+        return self.active_cpu_entries > 0 or self.active_disk_entries > 0
+
+    def activity_level(self) -> float:
+        """Rough [0,1] score of how hard the guest is working.
+
+        Drives the dirty-page rate during live migration: a VM running
+        Wcount dirties memory much faster than an idle one.
+        """
+        cpu = sum(e.rate for e in self._cpu_entries if not e.done)
+        disk = sum(e.rate for e in self._disk_entries if not e.done)
+        cpu_part = min(1.0, cpu / max(self.spec.cpu_cores, 1e-9))
+        disk_part = min(1.0, disk / 40.0)
+        return min(1.0, 0.6 * cpu_part + 0.4 * disk_part)
+
+
+class Dom0Context(ExecutionContext):
+    """Xen's privileged domain running work quasi-natively.
+
+    Figure 2(c): Dom-0 performance is within 5% of native, enabling the
+    'flexibly virtualized' hosts that can transition between running
+    guests and running near-native batch work.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pm: PhysicalMachine,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+    ) -> None:
+        super().__init__(name, pm, pm.spec.mem_mb)
+        self.overheads = overheads
+
+    def cpu_efficiency(self) -> float:
+        return self.overheads.dom0_eff
+
+    def disk_efficiency(self) -> float:
+        return self.overheads.dom0_eff
+
+    def net_efficiency(self) -> float:
+        return self.overheads.dom0_eff

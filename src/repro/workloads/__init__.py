@@ -1,0 +1,33 @@
+"""Workloads: the paper's six MapReduce benchmarks and workload mixes."""
+
+from repro.workloads.specs import (
+    TWITTER,
+    WCOUNT,
+    PIEST,
+    DISTGREP,
+    SORT,
+    KMEANS,
+    ALL_BENCHMARKS,
+    BENCHMARKS_BY_NAME,
+    make_job,
+)
+from repro.workloads.mixes import WorkloadMix, WMIX_1, WMIX_2, WMIX_3, ALL_MIXES
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "TWITTER",
+    "WCOUNT",
+    "PIEST",
+    "DISTGREP",
+    "SORT",
+    "KMEANS",
+    "ALL_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "make_job",
+    "WorkloadMix",
+    "WMIX_1",
+    "WMIX_2",
+    "WMIX_3",
+    "ALL_MIXES",
+    "WorkloadGenerator",
+]

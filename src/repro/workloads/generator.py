@@ -1,0 +1,72 @@
+"""Deterministic workload stream generation for mix experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.mapreduce.job import JobSpec
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.specs import ALL_BENCHMARKS, PAPER_INPUT_GB, make_job
+
+
+class WorkloadGenerator:
+    """Draws batch job specs and interactive app parameters from a mix.
+
+    All randomness flows from the supplied RNG, so a seed fully
+    determines the workload stream.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        benchmarks: Optional[Sequence[str]] = None,
+        input_scale: float = 1.0,
+    ) -> None:
+        if input_scale <= 0:
+            raise ValueError("input_scale must be positive")
+        self.rng = rng
+        self.benchmarks = list(benchmarks or [b.name for b in ALL_BENCHMARKS])
+        self.input_scale = input_scale
+        self._counter = 0
+
+    def next_batch_job(
+        self, num_reducers: Optional[int] = None, desired_jct_s: Optional[float] = None
+    ) -> JobSpec:
+        """One batch job: random benchmark at a jittered input size."""
+        self._counter += 1
+        benchmark = self.benchmarks[self.rng.randrange(len(self.benchmarks))]
+        base_gb = PAPER_INPUT_GB[benchmark] * self.input_scale
+        jitter = 0.75 + 0.5 * self.rng.random()  # 0.75x .. 1.25x
+        return make_job(
+            benchmark,
+            input_gb=base_gb * jitter,
+            name=f"{benchmark.lower()}-{self._counter}",
+            num_reducers=num_reducers,
+            desired_jct_s=desired_jct_s,
+        )
+
+    def batch_stream(self, count: int, **kwargs) -> List[JobSpec]:
+        return [self.next_batch_job(**kwargs) for _ in range(count)]
+
+    def mixed_stream(self, mix: WorkloadMix, total_jobs: int, **kwargs):
+        """(interactive_count, batch_specs) for a given mix."""
+        interactive, batch = mix.counts(total_jobs)
+        return interactive, self.batch_stream(batch, **kwargs)
+
+    def poisson_arrivals(
+        self, count: int, mean_interarrival_s: float, **kwargs
+    ) -> List[tuple]:
+        """[(arrival_time_s, JobSpec), ...] with exponential gaps.
+
+        The standard open-arrival workload model; use with
+        ``sim.schedule(t, lambda: jt.submit(spec))`` to replay.
+        """
+        if mean_interarrival_s <= 0:
+            raise ValueError("mean inter-arrival must be positive")
+        out = []
+        t = 0.0
+        for _ in range(count):
+            t += self.rng.expovariate(1.0 / mean_interarrival_s)
+            out.append((t, self.next_batch_job(**kwargs)))
+        return out

@@ -1,0 +1,37 @@
+"""Workload mixes (Figure 8(a)).
+
+The paper evaluates Phase I placement over three mixes of interactive
+and batch jobs: wmix-1 is 50%/50%, wmix-2 is 20% interactive / 80%
+batch, wmix-3 is 80% interactive / 20% batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Fractions of interactive vs batch jobs in a submission stream."""
+
+    name: str
+    interactive_fraction: float
+    batch_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.interactive_fraction <= 1:
+            raise ValueError("interactive_fraction must be in [0, 1]")
+        if abs(self.interactive_fraction + self.batch_fraction - 1.0) > 1e-9:
+            raise ValueError("fractions must sum to 1")
+
+    def counts(self, total_jobs: int) -> tuple:
+        """(interactive, batch) job counts for a stream of ``total_jobs``."""
+        interactive = round(total_jobs * self.interactive_fraction)
+        return interactive, total_jobs - interactive
+
+
+WMIX_1 = WorkloadMix("wmix-1", 0.5, 0.5)
+WMIX_2 = WorkloadMix("wmix-2", 0.2, 0.8)
+WMIX_3 = WorkloadMix("wmix-3", 0.8, 0.2)
+
+ALL_MIXES = [WMIX_1, WMIX_2, WMIX_3]

@@ -1,0 +1,140 @@
+"""The six MapReduce benchmarks of the evaluation (Section IV).
+
+Paper inputs:
+
+- ``Twitter``  -- ranks users over a 25 GB Twitter trace (Memory + I/O).
+- ``Wcount``   -- word frequencies over 20 GB of text (Memory + I/O).
+- ``PiEst``    -- Monte-Carlo Pi over 10 million points (CPU).
+- ``DistGrep`` -- regex match over 20 GB of text (I/O).
+- ``Sort``     -- sorts 20 GB of text (I/O, shuffle-heavy).
+- ``Kmeans``   -- clusters 10 GB of numeric data (CPU).
+
+We do not have the actual corpora; per the substitution rule the
+profiles below are synthetic resource models calibrated so that the
+*relative* behaviour matches Section II: Sort moves every input byte
+through shuffle and output (worst virtualization penalty), DistGrep is
+read-heavy with negligible output, PiEst barely touches the disk, and
+so on.  CPU costs are core-seconds per MB on the testbed's 2.4 GHz
+Opteron cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mapreduce.job import BenchmarkProfile, JobSpec
+
+TWITTER = BenchmarkProfile(
+    name="Twitter",
+    map_cpu_per_mb=0.020,
+    reduce_cpu_per_mb=0.030,
+    map_selectivity=0.35,
+    output_ratio=0.10,
+    map_mem_mb=350.0,
+    reduce_mem_mb=450.0,
+    resource_class="mixed",
+)
+
+WCOUNT = BenchmarkProfile(
+    name="Wcount",
+    map_cpu_per_mb=0.030,
+    reduce_cpu_per_mb=0.015,
+    map_selectivity=0.05,
+    output_ratio=0.02,
+    map_mem_mb=300.0,
+    reduce_mem_mb=400.0,
+    resource_class="mixed",
+)
+
+PIEST = BenchmarkProfile(
+    name="PiEst",
+    map_cpu_per_mb=0.0,
+    reduce_cpu_per_mb=0.5,
+    map_selectivity=0.001,
+    output_ratio=0.0001,
+    map_mem_mb=150.0,
+    reduce_mem_mb=150.0,
+    fixed_map_cpu=25.0,
+    resource_class="cpu",
+)
+
+DISTGREP = BenchmarkProfile(
+    name="DistGrep",
+    map_cpu_per_mb=0.008,
+    reduce_cpu_per_mb=0.004,
+    map_selectivity=0.002,
+    output_ratio=0.002,
+    map_mem_mb=200.0,
+    reduce_mem_mb=200.0,
+    resource_class="io",
+)
+
+SORT = BenchmarkProfile(
+    name="Sort",
+    map_cpu_per_mb=0.004,
+    reduce_cpu_per_mb=0.004,
+    map_selectivity=1.0,
+    output_ratio=1.0,
+    map_mem_mb=250.0,
+    reduce_mem_mb=400.0,
+    resource_class="io",
+)
+
+KMEANS = BenchmarkProfile(
+    name="Kmeans",
+    map_cpu_per_mb=0.120,
+    reduce_cpu_per_mb=0.060,
+    map_selectivity=0.02,
+    output_ratio=0.01,
+    map_mem_mb=400.0,
+    reduce_mem_mb=400.0,
+    resource_class="cpu",
+)
+
+ALL_BENCHMARKS = [TWITTER, WCOUNT, PIEST, DISTGREP, SORT, KMEANS]
+BENCHMARKS_BY_NAME: Dict[str, BenchmarkProfile] = {
+    b.name: b for b in ALL_BENCHMARKS
+}
+
+#: the paper's input size (GB) for each benchmark
+PAPER_INPUT_GB: Dict[str, float] = {
+    "Twitter": 25.0,
+    "Wcount": 20.0,
+    "PiEst": 0.0625,  # 10M points; tiny input, CPU per task dominates
+    "DistGrep": 20.0,
+    "Sort": 20.0,
+    "Kmeans": 10.0,
+}
+
+
+def make_job(
+    benchmark: str,
+    input_gb: Optional[float] = None,
+    name: Optional[str] = None,
+    num_reducers: Optional[int] = None,
+    num_maps: Optional[int] = None,
+    desired_jct_s: Optional[float] = None,
+) -> JobSpec:
+    """Build a :class:`JobSpec` for one of the six paper benchmarks.
+
+    Defaults to the paper's input size; PiEst always runs with a fixed
+    16-way map split since its input is negligible.
+    """
+    if benchmark not in BENCHMARKS_BY_NAME:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; choose from "
+            f"{sorted(BENCHMARKS_BY_NAME)}"
+        )
+    profile = BENCHMARKS_BY_NAME[benchmark]
+    if input_gb is None:
+        input_gb = PAPER_INPUT_GB[benchmark]
+    if benchmark == "PiEst" and num_maps is None:
+        num_maps = 16
+    return JobSpec(
+        name=name or benchmark.lower(),
+        profile=profile,
+        input_gb=input_gb,
+        num_reducers=num_reducers,
+        num_maps=num_maps,
+        desired_jct_s=desired_jct_s,
+    )

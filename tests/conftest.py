@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def native_cluster(sim):
+    return Cluster.native(sim, 4)
+
+
+@pytest.fixture
+def virtual_cluster(sim):
+    return Cluster.virtual(sim, 4, 2)
+
+
+@pytest.fixture
+def hybrid_cluster(sim):
+    return Cluster.hybrid(sim, 2, 2, 2)

@@ -1,0 +1,120 @@
+"""Failure-injection tests: node loss, output loss, HDFS recovery."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.sim.engine import Simulator
+from repro.workloads.specs import make_job
+
+
+def build(n=6, seed=9):
+    sim = Simulator(seed=seed)
+    cluster = Cluster.native(sim, n)
+    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    return sim, cluster, mr
+
+
+def run_to_completion(sim, mr, job, timeout=5000.0):
+    mr.jt._callbacks[job.job_id] = lambda j: sim.stop()
+    sim.run(until=sim.now + timeout)
+    mr.jt.shutdown()
+    return job
+
+
+def test_job_survives_node_failure_during_maps():
+    sim, cluster, mr = build()
+    job = mr.submit(make_job("Sort", input_gb=1.0, num_reducers=4))
+    victim = cluster.native_contexts()[0]
+    sim.schedule(3.0, lambda: mr.fail_node(victim))
+    run_to_completion(sim, mr, job)
+    assert job.done
+    # nothing completed on the dead node
+    for task in job.map_tasks + job.reduce_tasks:
+        assert task.winning_attempt.tracker.context is not victim
+
+
+def test_job_survives_node_failure_during_reduce_phase():
+    sim, cluster, mr = build()
+    job = mr.submit(make_job("Sort", input_gb=0.5, num_reducers=4))
+    victim = cluster.native_contexts()[1]
+
+    def fail_when_reducing():
+        if job.maps_done:
+            mr.fail_node(victim)
+        else:
+            sim.schedule(1.0, fail_when_reducing)
+
+    sim.schedule(1.0, fail_when_reducing)
+    run_to_completion(sim, mr, job)
+    assert job.done
+
+
+def test_lost_map_outputs_are_reexecuted():
+    sim, cluster, mr = build()
+    job = mr.submit(make_job("Sort", input_gb=1.0, num_reducers=4))
+    victim = cluster.native_contexts()[0]
+    state = {}
+
+    def fail_after_some_maps():
+        done_on_victim = [
+            t for t in job.map_tasks
+            if t.completed and t.winning_attempt.tracker.context is victim
+        ]
+        if done_on_victim and not job.maps_done:
+            state["lost"] = len(done_on_victim)
+            state["attempts_before"] = sum(len(t.attempts) for t in job.map_tasks)
+            mr.fail_node(victim)
+        elif not job.maps_done:
+            sim.schedule(0.5, fail_after_some_maps)
+
+    sim.schedule(0.5, fail_after_some_maps)
+    run_to_completion(sim, mr, job)
+    assert job.done
+    if "lost" in state:
+        after = sum(len(t.attempts) for t in job.map_tasks)
+        assert after >= state["attempts_before"] + state["lost"]
+
+
+def test_dead_tracker_gets_no_new_work():
+    sim, cluster, mr = build()
+    victim = cluster.native_contexts()[2]
+    mr.fail_node(victim)
+    job = mr.submit(make_job("Wcount", input_gb=0.5, num_reducers=4))
+    run_to_completion(sim, mr, job)
+    assert job.done
+    dead = next(t for t in mr.trackers if t.context is victim)
+    assert not dead.alive
+    for task in job.map_tasks + job.reduce_tasks:
+        for attempt in task.attempts:
+            assert attempt.tracker.context is not victim
+
+
+def test_hdfs_recovers_replication_after_failure():
+    sim, cluster, mr = build()
+    mr.fs.preload_file("data", 512.0)
+    victim = cluster.native_contexts()[0]
+    mr.fail_node(victim, recover_hdfs=True)
+    sim.run(until=200.0)
+    assert not mr.fs.namenode.under_replicated(mr.fs.replication)
+    mr.jt.shutdown()
+
+
+def test_storage_only_failure_in_split_architecture():
+    sim = Simulator(seed=9)
+    cluster = Cluster.virtual(sim, 4, 2)
+    compute = cluster.vms[::2]
+    storage = cluster.vms[1::2]
+    mr = MapReduceCluster(sim, cluster.fabric, compute, storage_contexts=storage)
+    job = mr.submit(make_job("Wcount", input_gb=0.5, num_reducers=4))
+    sim.schedule(2.0, lambda: mr.fail_node(storage[0]))
+    mr.jt._callbacks[job.job_id] = lambda j: sim.stop()
+    sim.run(until=5000.0)
+    assert job.done
+    mr.jt.shutdown()
+
+
+def test_failure_of_unknown_context_is_storage_only_noop():
+    sim, cluster, mr = build()
+    foreign = cluster.add_pm("foreign").native
+    mr.jt.handle_node_failure(foreign)  # no tracker there: no-op

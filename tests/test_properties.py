@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interference.models import ExponentialModel, LinearModel, PiecewiseLinearModel
+from repro.interference.regression import fit_line, r_squared
+from repro.sim.engine import Simulator
+from repro.sim.network import _HostLinks, maxmin_flow_rates
+from repro.sim.pool import ResourcePool, waterfill
+from repro.sim.trace import Trace
+
+finite = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# waterfill invariants
+# ----------------------------------------------------------------------
+@given(
+    capacity=st.floats(min_value=0.0, max_value=1e4),
+    entries=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),  # weight
+            st.floats(min_value=0.0, max_value=1e4),  # cap
+        ),
+        min_size=0,
+        max_size=12,
+    ),
+)
+def test_waterfill_conserves_and_respects_caps(capacity, entries):
+    weights = [w for w, _ in entries]
+    caps = [c for _, c in entries]
+    rates = waterfill(capacity, weights, caps)
+    assert len(rates) == len(entries)
+    assert all(r >= -1e-9 for r in rates)
+    # never exceed the capacity
+    assert sum(rates) <= capacity + 1e-6
+    # never exceed a cap
+    for rate, cap in zip(rates, caps):
+        assert rate <= cap + 1e-6
+    # work conservation: if any entry is below its cap and has weight,
+    # capacity must be (nearly) exhausted or everyone else is capped
+    unsated = [
+        i for i, (w, c) in enumerate(entries) if w > 1e-9 and rates[i] < c - 1e-6
+    ]
+    if unsated:
+        assert sum(rates) >= capacity - 1e-6 or all(
+            rates[i] >= caps[i] - 1e-6 for i in range(len(entries)) if i not in unsated
+        )
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=100.0),
+    weights=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=8),
+)
+def test_waterfill_uncapped_is_weight_proportional(capacity, weights):
+    caps = [math.inf] * len(weights)
+    rates = waterfill(capacity, weights, caps)
+    total_w = sum(weights)
+    for rate, weight in zip(rates, weights):
+        assert rate == pytest_approx(capacity * weight / total_w)
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)
+
+
+# ----------------------------------------------------------------------
+# max-min network rates
+# ----------------------------------------------------------------------
+class _F:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+@given(
+    n_hosts=st.integers(min_value=2, max_value=5),
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+        min_size=1,
+        max_size=10,
+    ),
+    cap=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_maxmin_never_oversubscribes_links(n_hosts, pairs, cap):
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    flows = [
+        _F(hosts[a % n_hosts], hosts[b % n_hosts])
+        for a, b in pairs
+        if a % n_hosts != b % n_hosts
+    ]
+    if not flows:
+        return
+    links = {h: _HostLinks(cap, cap, 2000.0, h) for h in hosts}
+    rates = maxmin_flow_rates(flows, links)
+    assert all(r >= -1e-9 for r in rates)
+    up = {h: 0.0 for h in hosts}
+    down = {h: 0.0 for h in hosts}
+    for flow, rate in zip(flows, rates):
+        up[flow.src] += rate
+        down[flow.dst] += rate
+    for h in hosts:
+        assert up[h] <= cap * (1 + 1e-6)
+        assert down[h] <= cap * (1 + 1e-6)
+
+
+# ----------------------------------------------------------------------
+# pool conservation under random scenarios
+# ----------------------------------------------------------------------
+@given(
+    works=st.lists(st.floats(min_value=1.0, max_value=200.0), min_size=1, max_size=6),
+    capacity=st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_pool_total_time_bounded_by_serial_time(works, capacity):
+    sim = Simulator(seed=1)
+    pool = ResourcePool(sim, capacity)
+    finish = []
+    for work in works:
+        pool.add(work, on_complete=lambda: finish.append(sim.now))
+    sim.run()
+    assert len(finish) == len(works)
+    serial = sum(works) / capacity
+    # the pool is work-conserving: everything done exactly at the serial
+    # completion bound (equal sharing never wastes capacity)
+    assert max(finish) == pytest_approx(serial, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# regression sanity
+# ----------------------------------------------------------------------
+@given(
+    slope=st.floats(min_value=-5, max_value=5),
+    intercept=st.floats(min_value=-10, max_value=10),
+    # integer xs keep the spread well away from fit_line's degenerate
+    # zero-variance fallback
+    xs=st.lists(st.integers(min_value=-100, max_value=100), min_size=3, max_size=30, unique=True),
+)
+def test_fit_line_recovers_exact_lines(slope, intercept, xs):
+    xs = [float(x) for x in xs]
+    ys = [slope * x + intercept for x in xs]
+    got_slope, got_icpt = fit_line(xs, ys)
+    assert abs(got_slope - slope) < 1e-6 + 1e-6 * abs(slope)
+    assert abs(got_icpt - intercept) < 1e-4 + 1e-6 * abs(intercept)
+    assert r_squared(ys, [got_slope * x + got_icpt for x in xs]) > 1 - 1e-9
+
+
+@given(
+    xs=st.lists(st.floats(min_value=0, max_value=100), min_size=6, max_size=40, unique=True),
+)
+def test_piecewise_never_worse_than_single_line(xs):
+    xs = sorted(xs)
+    ys = [0.5 * x + 1 for x in xs]
+    single = LinearModel().fit(xs, ys)
+    piece = PiecewiseLinearModel().fit(xs, ys)
+    err_single = sum((single.predict(x) - y) ** 2 for x, y in zip(xs, ys))
+    err_piece = sum((piece.predict(x) - y) ** 2 for x, y in zip(xs, ys))
+    assert err_piece <= err_single + 1e-6
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50),
+)
+def test_trace_mean_within_bounds(values):
+    trace = Trace()
+    for i, v in enumerate(values):
+        trace.record(float(i), v)
+    assert min(values) - 1e-9 <= trace.mean() <= max(values) + 1e-9

@@ -1,0 +1,157 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_in_order(sim):
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, lambda tag=tag: order.append(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties(sim):
+    order = []
+    sim.schedule(1.0, lambda: order.append("low"), priority=1)
+    sim.schedule(1.0, lambda: order.append("high"), priority=0)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancel_event(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_clock_midway(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(1))
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_schedule_at_absolute_time(sim):
+    times = []
+    sim.schedule_at(4.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_stop_halts_run(sim):
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first"]
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_call_every_fires_periodically(sim):
+    ticks = []
+    sim.call_every(1.0, lambda: ticks.append(sim.now), until=5.0)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_call_every_cancel(sim):
+    ticks = []
+    cancel = sim.call_every(1.0, lambda: ticks.append(sim.now))
+    sim.schedule(3.5, cancel)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_call_every_rejects_nonpositive_interval(sim):
+    with pytest.raises(ValueError):
+        sim.call_every(0.0, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(1.0, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_fork_rng_is_stable_across_instances():
+    a = Simulator(seed=7).fork_rng("stream")
+    b = Simulator(seed=7).fork_rng("stream")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_fork_rng_streams_are_independent():
+    sim = Simulator(seed=7)
+    a = sim.fork_rng("one")
+    b = sim.fork_rng("two")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        out = []
+        sim.call_every(1.0, lambda: out.append(sim.rng.random()), until=5.0)
+        sim.run()
+        return out
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_pending_counts_live_events(sim):
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    event.cancel()
+    assert sim.pending == 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)

@@ -1,0 +1,151 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.sim.network import NetworkFabric, maxmin_flow_rates
+
+
+def make_fabric(sim, hosts=("a", "b", "c"), cap=100.0):
+    fabric = NetworkFabric(sim)
+    for host in hosts:
+        fabric.register_host(host, up_mbps=cap, down_mbps=cap)
+    return fabric
+
+
+def test_single_flow_full_rate(sim):
+    fabric = make_fabric(sim)
+    done = []
+    fabric.start_flow("a", "b", 200.0, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_two_flows_share_uplink(sim):
+    fabric = make_fabric(sim)
+    done = {}
+    fabric.start_flow("a", "b", 100.0, on_complete=lambda: done.setdefault("ab", sim.now))
+    fabric.start_flow("a", "c", 100.0, on_complete=lambda: done.setdefault("ac", sim.now))
+    sim.run()
+    assert done["ab"] == pytest.approx(2.0)
+    assert done["ac"] == pytest.approx(2.0)
+
+
+def test_disjoint_flows_run_at_line_rate(sim):
+    fabric = make_fabric(sim, hosts=("a", "b", "c", "d"))
+    done = {}
+    fabric.start_flow("a", "b", 100.0, on_complete=lambda: done.setdefault("ab", sim.now))
+    fabric.start_flow("c", "d", 100.0, on_complete=lambda: done.setdefault("cd", sim.now))
+    sim.run()
+    assert done["ab"] == pytest.approx(1.0)
+    assert done["cd"] == pytest.approx(1.0)
+
+
+def test_loopback_same_host_is_fast(sim):
+    fabric = make_fabric(sim)
+    done = []
+    fabric.start_flow("a", "a", 2000.0, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0)]  # default loopback 2000 MB/s
+
+
+def test_group_colocation_uses_loopback(sim):
+    fabric = NetworkFabric(sim)
+    fabric.register_host("vm0", up_mbps=10.0, down_mbps=10.0, group="pm0")
+    fabric.register_host("vm1", up_mbps=10.0, down_mbps=10.0, group="pm0")
+    done = []
+    fabric.start_flow("vm0", "vm1", 2000.0, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0)]  # loopback, not the 10 MB/s NICs
+
+
+def test_set_group_rehomes_host(sim):
+    fabric = NetworkFabric(sim)
+    fabric.register_host("vm0", up_mbps=10.0, down_mbps=10.0, group="pm0")
+    fabric.register_host("vm1", up_mbps=10.0, down_mbps=10.0, group="pm1")
+    assert not fabric.colocated("vm0", "vm1")
+    fabric.set_group("vm1", "pm0")
+    assert fabric.colocated("vm0", "vm1")
+
+
+def test_cancel_flow(sim):
+    fabric = make_fabric(sim)
+    done = []
+    flow = fabric.start_flow("a", "b", 100.0, on_complete=lambda: done.append(1))
+    sim.schedule(0.5, lambda: fabric.cancel_flow(flow))
+    sim.run()
+    assert done == []
+    assert flow.done
+    assert flow.remaining == pytest.approx(50.0)
+
+
+def test_flow_efficiency_slows_transfer(sim):
+    fabric = make_fabric(sim)
+    done = []
+    fabric.start_flow("a", "b", 100.0, on_complete=lambda: done.append(sim.now), efficiency=0.5)
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_zero_byte_flow_completes_immediately(sim):
+    fabric = make_fabric(sim)
+    done = []
+    flow = fabric.start_flow("a", "b", 0.0, on_complete=lambda: done.append(1))
+    assert flow.done
+    sim.run()
+    assert done == [1]
+
+
+def test_unknown_host_rejected(sim):
+    fabric = make_fabric(sim)
+    with pytest.raises(KeyError):
+        fabric.start_flow("a", "nope", 1.0)
+
+
+def test_duplicate_host_rejected(sim):
+    fabric = make_fabric(sim)
+    with pytest.raises(ValueError):
+        fabric.register_host("a")
+
+
+def test_bytes_accounting(sim):
+    fabric = make_fabric(sim)
+    fabric.start_flow("a", "b", 100.0)
+    fabric.start_flow("a", "a", 50.0)
+    sim.run()
+    assert fabric.bytes_transferred_mb == pytest.approx(150.0)
+    assert fabric.cross_host_mb == pytest.approx(100.0)
+
+
+# ----------------------------------------------------------------------
+# maxmin_flow_rates (pure function)
+# ----------------------------------------------------------------------
+class _FakeFlow:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class _Links:
+    def __init__(self, up, down):
+        self.up = up
+        self.down = down
+
+
+def test_maxmin_bottleneck_is_shared_link():
+    flows = [_FakeFlow("a", "b"), _FakeFlow("a", "c")]
+    links = {"a": _Links(100, 100), "b": _Links(100, 100), "c": _Links(100, 100)}
+    rates = maxmin_flow_rates(flows, links)
+    assert rates == [pytest.approx(50.0), pytest.approx(50.0)]
+
+
+def test_maxmin_unequal_links():
+    # a->b limited by b's 30 downlink; a->c then gets the leftover 70
+    flows = [_FakeFlow("a", "b"), _FakeFlow("a", "c")]
+    links = {"a": _Links(100, 100), "b": _Links(100, 30), "c": _Links(100, 100)}
+    rates = maxmin_flow_rates(flows, links)
+    assert rates[0] == pytest.approx(30.0)
+    assert rates[1] == pytest.approx(70.0)
+
+
+def test_maxmin_no_flows():
+    assert maxmin_flow_rates([], {}) == []

@@ -1,0 +1,126 @@
+"""Tests for stage chaining and trace recording."""
+
+import pytest
+
+from repro.sim.sequence import Join, chain, join
+from repro.sim.trace import Trace, TraceSet
+
+
+# ----------------------------------------------------------------------
+# chain / join
+# ----------------------------------------------------------------------
+def test_chain_runs_stages_in_order():
+    order = []
+
+    def stage(tag):
+        def run(done):
+            order.append(tag)
+            done()
+
+        return run
+
+    chain([stage(1), stage(2), stage(3)], lambda: order.append("end"))
+    assert order == [1, 2, 3, "end"]
+
+
+def test_chain_empty_fires_immediately():
+    fired = []
+    chain([], lambda: fired.append(True))
+    assert fired == [True]
+
+
+def test_join_waits_for_all_arms():
+    fired = []
+    arms = join(3, lambda: fired.append(True))
+    arms[0]()
+    arms[1]()
+    assert fired == []
+    arms[2]()
+    assert fired == [True]
+
+
+def test_join_zero_arms_fires_immediately():
+    fired = []
+    join(0, lambda: fired.append(True))
+    assert fired == [True]
+
+
+def test_join_arm_double_call_rejected():
+    arms = join(2, lambda: None)
+    arms[0]()
+    with pytest.raises(RuntimeError):
+        arms[0]()
+
+
+def test_join_dynamic_arms():
+    fired = []
+    barrier = Join(lambda: fired.append(True))
+    first = barrier.expect()
+    first()
+    second = barrier.expect()
+    barrier.seal()
+    assert fired == []
+    second()
+    assert fired == [True]
+
+
+# ----------------------------------------------------------------------
+# Trace
+# ----------------------------------------------------------------------
+def test_trace_record_and_stats():
+    trace = Trace("t")
+    for t, v in [(0, 1.0), (1, 3.0), (2, 5.0)]:
+        trace.record(t, v)
+    assert len(trace) == 3
+    assert trace.mean() == pytest.approx(3.0)
+    assert trace.max() == 5.0
+    assert trace.min() == 1.0
+    assert trace.last == 5.0
+
+
+def test_trace_rejects_out_of_order():
+    trace = Trace()
+    trace.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        trace.record(4.0, 1.0)
+
+
+def test_trace_time_weighted_mean():
+    trace = Trace()
+    trace.record(0.0, 0.0)
+    trace.record(8.0, 10.0)  # value 0 held 8s, value 10 held 2s
+    assert trace.time_weighted_mean(until=10.0) == pytest.approx(2.0)
+
+
+def test_trace_value_at_step_interpolation():
+    trace = Trace()
+    trace.record(1.0, 10.0)
+    trace.record(3.0, 20.0)
+    assert trace.value_at(0.5) is None
+    assert trace.value_at(1.5) == 10.0
+    assert trace.value_at(3.5) == 20.0
+
+
+def test_trace_window():
+    trace = Trace()
+    for t in range(10):
+        trace.record(float(t), float(t))
+    window = trace.window(3.0, 6.0)
+    assert window.times == [3.0, 4.0, 5.0, 6.0]
+
+
+def test_traceset_get_and_record():
+    traces = TraceSet()
+    traces.record("cpu", 0.0, 0.5)
+    traces.record("cpu", 1.0, 0.7)
+    assert "cpu" in traces
+    assert len(traces["cpu"]) == 2
+    assert traces.names() == ["cpu"]
+
+
+def test_empty_trace_stats_are_zero():
+    trace = Trace()
+    assert trace.mean() == 0.0
+    assert trace.max() == 0.0
+    assert trace.time_weighted_mean() == 0.0
+    assert trace.last is None
