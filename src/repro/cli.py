@@ -251,6 +251,8 @@ def cmd_run(args) -> int:
     from repro.workloads.specs import make_job
 
     sim = Simulator(seed=args.seed)
+    if args.trace or args.events_out or args.metrics_out:
+        sim.obs.enable_tracing()
     if args.cluster == "native":
         cluster = Cluster.native(sim, args.pms)
         contexts = cluster.native_contexts()
@@ -278,6 +280,46 @@ def cmd_run(args) -> int:
           f"({len(job.reduce_tasks)} tasks)")
     print(f"  energy       {meter.energy_kwh:10.4f} kWh")
     print(f"  utilization  {cluster.mean_cpu_utilization():10.2f}")
+    if args.trace or args.events_out or args.metrics_out:
+        from repro.experiments.common import write_run_artifacts
+
+        for path in write_run_artifacts(
+            sim, args.trace, args.events_out, args.metrics_out
+        ):
+            print(f"  wrote        {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.export import (
+        chrome_trace,
+        read_jsonl,
+        summarize_events,
+        validate_chrome_trace,
+    )
+
+    if args.file.endswith(".jsonl"):
+        events = read_jsonl(args.file)
+        print(summarize_events(events))
+        if args.chrome:
+            import json
+
+            doc = chrome_trace(events)
+            validate_chrome_trace(doc)
+            with open(args.chrome, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            print(f"wrote {args.chrome} ({len(doc['traceEvents'])} events)")
+        return 0
+    # a Chrome trace JSON: validate it and report the event count
+    import json
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    n = validate_chrome_trace(doc)
+    print(f"{args.file}: valid Chrome trace, {n} events")
+    if args.chrome:
+        print("--chrome only applies to .jsonl event logs", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -329,7 +371,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--input-gb", type=float, default=2.0)
     run.add_argument("--reducers", type=int, default=None)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a Chrome trace-event JSON (chrome://tracing)")
+    run.add_argument("--events-out", metavar="FILE", default=None,
+                     help="write the structured event log as JSONL")
+    run.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write the metrics registry snapshot as JSON")
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a .jsonl event log or validate a trace JSON"
+    )
+    trace.add_argument("file", help="a .jsonl event log or Chrome trace JSON")
+    trace.add_argument("--chrome", metavar="FILE", default=None,
+                       help="also convert a .jsonl log to Chrome trace JSON")
+    trace.set_defaults(func=cmd_trace)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("id", help=", ".join(FIGURES))

@@ -211,6 +211,12 @@ class DynamicResourceManager:
     # the control loop
     # ------------------------------------------------------------------
     def _epoch(self) -> None:
+        obs = self.sim.obs
+        obs.metrics.counter("drm.epochs").inc()
+        with obs.tracer.span("drm.epoch", category="scheduler", track="drm"):
+            self._run_epoch()
+
+    def _run_epoch(self) -> None:
         # LRM phase: profile everything running
         by_vm: Dict[str, List[TaskAttempt]] = {vm.name: [] for vm in self.vms}
         for attempt in self.jt.running_attempts():
@@ -230,6 +236,17 @@ class DynamicResourceManager:
             self._balance_io(by_vm)
         if self.manage_cpu or self.manage_io:
             self._boost_stragglers(by_vm)
+
+    def _act(self, kind: str, message: str) -> None:
+        """Record one Performance Balancer actuation everywhere at once:
+        the legacy ``actions`` log, the metrics registry, and (when
+        tracing) an instant event on the DRM track."""
+        self.actions.append(message)
+        obs = self.sim.obs
+        obs.metrics.counter(f"drm.actions.{kind}").inc()
+        if obs.tracer.enabled:
+            obs.tracer.instant(kind, category="scheduler", track="drm",
+                               detail=message)
 
     # -- CPU: work-conserving uncapping -----------------------------------
     def _balance_cpu(self, by_vm: Dict[str, List[TaskAttempt]]) -> None:
@@ -251,18 +268,20 @@ class DynamicResourceManager:
                     )
                     if starved and vm.cpu_fraction < 2.0:
                         vm.set_cpu_fraction(2.0)
-                        self.actions.append(
+                        self._act(
+                            "cpu-uncap",
                             f"{self.sim.now:.0f}s cpu-uncap {vm.name} "
-                            f"-> {vm.cpu_fraction:.2f}"
+                            f"-> {vm.cpu_fraction:.2f}",
                         )
             else:
                 # host saturated: converge back to fair 1.0 caps
                 for vm in batch_vms:
                     if vm.cpu_fraction > 1.0:
                         vm.set_cpu_fraction(max(1.0, vm.cpu_fraction - 0.25))
-                        self.actions.append(
+                        self._act(
+                            "cpu-recap",
                             f"{self.sim.now:.0f}s cpu-recap {vm.name} "
-                            f"-> {vm.cpu_fraction:.2f}"
+                            f"-> {vm.cpu_fraction:.2f}",
                         )
 
     # -- Memory: ballooning -------------------------------------------------
@@ -288,9 +307,10 @@ class DynamicResourceManager:
                     continue
                 donor.balloon_to(donor.mem_capacity_mb - step)
                 needy.balloon_to(needy.mem_capacity_mb + step)
-                self.actions.append(
+                self._act(
+                    "balloon",
                     f"{self.sim.now:.0f}s balloon {step:.0f}MB "
-                    f"{donor.name} -> {needy.name}"
+                    f"{donor.name} -> {needy.name}",
                 )
 
     # -- I/O: blkio weights for tails and deficits ---------------------------
@@ -313,8 +333,9 @@ class DynamicResourceManager:
             target = self.io_boost if vm.name in tail_vms else 1.0
             if abs(vm.io_weight - target) > 1e-9:
                 vm.set_io_weight(target)
-                self.actions.append(
-                    f"{self.sim.now:.0f}s io-weight {vm.name} -> {target:g}"
+                self._act(
+                    "io-weight",
+                    f"{self.sim.now:.0f}s io-weight {vm.name} -> {target:g}",
                 )
             # tail tasks also deserve spare CPU to finish the job sooner
             if self.manage_cpu and vm.name in tail_vms and vm.cpu_fraction < 2.0:
@@ -353,15 +374,17 @@ class DynamicResourceManager:
                             continue
                         if self.manage_cpu and ctx.cpu_fraction < 2.0:
                             ctx.set_cpu_fraction(2.0)
-                            self.actions.append(
+                            self._act(
+                                "straggler-cpu",
                                 f"{self.sim.now:.0f}s straggler-cpu {ctx.name} "
-                                f"({attempt.task.name})"
+                                f"({attempt.task.name})",
                             )
                         if self.manage_io and ctx.io_weight < self.io_boost:
                             ctx.set_io_weight(self.io_boost)
-                            self.actions.append(
+                            self._act(
+                                "straggler-io",
                                 f"{self.sim.now:.0f}s straggler-io {ctx.name} "
-                                f"({attempt.task.name})"
+                                f"({attempt.task.name})",
                             )
 
     # ------------------------------------------------------------------

@@ -179,6 +179,18 @@ class HybridMRScheduler:
 
         job = mr.submit(spec, finished)
         self.placements[job.job_id] = placement
+        obs = self.sim.obs
+        obs.metrics.counter(
+            f"phase1.placements.{placement.name.lower()}"
+        ).inc()
+        if obs.tracer.enabled:
+            obs.tracer.instant(
+                f"place:{spec.name}",
+                category="scheduler",
+                track="phase1",
+                placement=placement.name,
+                job_id=job.job_id,
+            )
         return placement, job
 
     def _record_online_profile(

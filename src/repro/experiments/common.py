@@ -43,6 +43,40 @@ MEDIUM = Scale("medium", pms=12, vms_per_pm=2, input_fraction=0.4)
 PAPER = Scale("paper", pms=24, vms_per_pm=2, input_fraction=1.0)
 
 
+def make_sim(seed: int, tracing: bool = False) -> Simulator:
+    """Fresh simulator, optionally with span tracing enabled."""
+    sim = Simulator(seed=seed)
+    if tracing:
+        sim.obs.enable_tracing()
+    return sim
+
+
+def write_run_artifacts(
+    sim: Simulator,
+    trace_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> List[str]:
+    """Export the run's observability data; returns the paths written."""
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_jsonl,
+        write_metrics_json,
+    )
+
+    written: List[str] = []
+    if trace_path:
+        write_chrome_trace(trace_path, sim.obs)
+        written.append(trace_path)
+    if events_path:
+        write_jsonl(events_path, sim.obs)
+        written.append(events_path)
+    if metrics_path:
+        write_metrics_json(metrics_path, sim.obs)
+        written.append(metrics_path)
+    return written
+
+
 def build_virtual(
     sim: Simulator, pms: int, vms_per_pm: int
 ) -> tuple:
@@ -98,6 +132,10 @@ def run_single_job(
     split_storage: bool = False,
     dom0: bool = False,
     density_scaled: bool = False,
+    tracing: bool = False,
+    trace_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> Job:
     """Run one benchmark on a fresh cluster; returns the finished job.
 
@@ -105,6 +143,8 @@ def run_single_job(
     privileged domain of otherwise-virtualized hosts (Figure 2(c)).
     ``split_storage`` deploys the split architecture: on each PM, the
     first VM computes and the second stores (Figure 2(d)).
+    ``tracing`` records spans; the ``*_path`` arguments export them
+    (and the metrics registry) after the run via repro.obs.export.
     """
     sim = Simulator(seed=seed)
     storage = None
@@ -146,6 +186,9 @@ def run_single_job(
             cluster, contexts = build_virtual(sim, pms, vms_per_pm)
     else:
         raise ValueError(f"unknown kind {kind!r}")
+    if tracing or trace_path or events_path or metrics_path:
+        # enabled only after the dom0 branch settles on the final sim
+        sim.obs.enable_tracing()
     mr = MapReduceCluster(
         sim,
         cluster.fabric,
@@ -156,7 +199,9 @@ def run_single_job(
     )
     reducers = num_reducers if num_reducers is not None else pms
     spec = make_job(benchmark, input_gb=input_gb, num_reducers=reducers)
-    return mr.run_job(spec)
+    job = mr.run_job(spec)
+    write_run_artifacts(sim, trace_path, events_path, metrics_path)
+    return job
 
 
 def pct_increase(value: float, baseline: float) -> float:

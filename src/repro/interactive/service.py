@@ -183,6 +183,22 @@ class InteractiveService:
         self.current_latency_ms = min(latency_s * 1000.0, MAX_LATENCY_MS)
         self.latency_trace.record(self.sim.now, self.current_latency_ms)
         self.clients_trace.record(self.sim.now, n)
+        obs = self.sim.obs
+        obs.metrics.gauge(f"svc.{self.name}.latency_ms").set(self.current_latency_ms)
+        obs.metrics.gauge(f"svc.{self.name}.clients").set(float(n))
+        obs.metrics.histogram(f"svc.{self.name}.latency_ms").observe(
+            self.current_latency_ms
+        )
+        if obs.tracer.enabled:
+            obs.tracer.instant(
+                f"probe:{self.name}",
+                category="sla",
+                track=f"svc:{self.name}",
+                latency_ms=self.current_latency_ms,
+                clients=n,
+                cpu_capacity=cpu_capacity,
+                io_capacity=io_capacity,
+            )
 
         # settle: hold only the equilibrium demand, freeing real slack
         lam = n / (profile.think_time_s + latency_s) if n else 0.0
@@ -222,6 +238,10 @@ class InteractiveService:
 
     def mean_latency_ms(self) -> float:
         return self.latency_trace.mean()
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (ms) over all probe epochs so far."""
+        return self.latency_trace.percentile(q)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

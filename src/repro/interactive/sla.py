@@ -79,6 +79,16 @@ class SLAMonitor:
                 )
                 self.events.append(event)
                 if violated:
+                    obs = self.sim.obs
+                    obs.metrics.counter("sla.violations").inc()
+                    if obs.tracer.enabled:
+                        obs.tracer.instant(
+                            f"sla:{service.name}",
+                            category="sla",
+                            track="sla",
+                            latency_ms=event.latency_ms,
+                            sla_ms=event.sla_ms,
+                        )
                     for handler in self._handlers:
                         handler(service, event)
             self._violating[service.name] = violated

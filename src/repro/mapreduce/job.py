@@ -92,6 +92,8 @@ class Job:
         self.map_tasks: List["Task"] = []
         self.reduce_tasks: List["Task"] = []
         self.input_file: Optional[str] = None
+        #: tracer span covering submit -> finish (None when tracing off)
+        self.obs_span = None
 
     # ------------------------------------------------------------------
     # progress

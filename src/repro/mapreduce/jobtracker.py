@@ -122,6 +122,18 @@ class JobTracker:
         self.active_jobs.append(job)
         if on_complete is not None:
             self._callbacks[job.job_id] = on_complete
+        obs = self.sim.obs
+        obs.metrics.counter("jobs.submitted").inc()
+        if obs.tracer.enabled:
+            job.obs_span = obs.tracer.begin(
+                f"job:{spec.name}#{job.job_id}",
+                category="job",
+                track="jobs",
+                benchmark=spec.profile.name,
+                input_gb=spec.input_gb,
+                maps=len(job.map_tasks),
+                reduces=len(job.reduce_tasks),
+            )
         self.request_dispatch()
         return job
 
@@ -134,6 +146,8 @@ class JobTracker:
         if job in self.active_jobs:
             self.active_jobs.remove(job)
         self.finished_jobs.append(job)
+        self.sim.obs.metrics.counter("jobs.killed").inc()
+        self.sim.obs.tracer.end(job.obs_span, state="killed")
 
     def shutdown(self) -> None:
         """Stop periodic machinery (lets the event queue drain)."""
@@ -271,8 +285,11 @@ class JobTracker:
         job = task.job
         if job.start_time is None:
             job.start_time = self.sim.now
+        metrics = self.sim.obs.metrics
+        metrics.counter("attempts.launched").inc()
         if speculative:
             self.speculative_launched += 1
+            metrics.counter("attempts.speculative").inc()
         # reduce attempts seed their shuffle state from the task-level
         # backlog inside start()
         attempt.start()
@@ -332,6 +349,10 @@ class JobTracker:
                 job.maps_done_time = self.sim.now
             self.active_jobs.remove(job)
             self.finished_jobs.append(job)
+            obs = self.sim.obs
+            obs.metrics.counter("jobs.completed").inc()
+            obs.metrics.histogram("job.jct_s").observe(job.jct)
+            obs.tracer.end(job.obs_span, state="succeeded", jct_s=job.jct)
             callback = self._callbacks.pop(job.job_id, None)
             if callback is not None:
                 callback(job)

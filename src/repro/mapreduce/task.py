@@ -105,12 +105,26 @@ class TaskAttempt:
         self._output_file: Optional[str] = None
         #: per-attempt work multiplier (data skew / slow node / GC)
         self.work_factor = jt.work_multiplier_for(task.name, len(task.attempts))
+        # tracer spans: the attempt interval plus one child per stage
+        self._span = None
+        self._stage_span = None
+        self._stage_names: List[str] = []
         task.attempts.append(self)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            self._span = tracer.begin(
+                f"{self.task.name}#a{self.attempt_id}",
+                category="task",
+                track=self.tracker.name,
+                parent=self.task.job.obs_span,
+                kind=self.task.kind.value,
+                speculative=self.speculative,
+            )
         profile = self.task.job.spec.profile
         need = (
             profile.map_mem_mb
@@ -141,6 +155,8 @@ class TaskAttempt:
             return
         self.killed = True
         self.running = False
+        self.sim.obs.metrics.counter("attempts.killed").inc()
+        self._close_spans("killed")
         for handle in self._handles:
             self._cancel_handle(handle)
         self._handles.clear()
@@ -165,6 +181,12 @@ class TaskAttempt:
             return
         self.running = False
         self.finished_at = self.sim.now
+        metrics = self.sim.obs.metrics
+        metrics.counter("attempts.completed").inc()
+        metrics.histogram(f"attempt.{self.task.kind.value}.duration_s").observe(
+            self.finished_at - self.started_at
+        )
+        self._close_spans("succeeded")
         self.tracker.context.free_mem(self._mem_mb)
         self._mem_mb = 0.0
         self._handles.clear()
@@ -186,15 +208,45 @@ class TaskAttempt:
         total = sum(self._stage_weights) or 1.0
         return min(1.0, self._progress_done / total)
 
-    def _begin_stages(self, weights: List[float]) -> None:
+    def _begin_stages(self, weights: List[float], names: List[str]) -> None:
         self._stage_weights = weights
         self._stage_index = 0
         self._progress_done = 0.0
+        self._stage_names = names
+        self._open_stage_span()
 
     def _stage_done(self) -> None:
         if self._stage_index < len(self._stage_weights):
             self._progress_done += self._stage_weights[self._stage_index]
             self._stage_index += 1
+            self._open_stage_span()
+
+    # ------------------------------------------------------------------
+    # tracing (no-ops while the null tracer is installed)
+    # ------------------------------------------------------------------
+    def _open_stage_span(self) -> None:
+        """Close the running stage span and open the next one."""
+        if self._span is None:
+            return
+        tracer = self.sim.obs.tracer
+        tracer.end(self._stage_span)
+        self._stage_span = None
+        if self._stage_index < len(self._stage_names):
+            self._stage_span = tracer.begin(
+                self._stage_names[self._stage_index],
+                category="task.stage",
+                track=self.tracker.name,
+                parent=self._span,
+            )
+
+    def _close_spans(self, status: str) -> None:
+        if self._span is None:
+            return
+        tracer = self.sim.obs.tracer
+        tracer.end(self._stage_span)
+        tracer.end(self._span, status=status)
+        self._stage_span = None
+        self._span = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -230,7 +282,10 @@ class TaskAttempt:
         ) * self.work_factor
         spill_mb = block.size_mb * profile.map_selectivity
         startup = self.jt.task_startup_cpu_s
-        self._begin_stages([startup, block.size_mb, cpu_work, spill_mb])
+        self._begin_stages(
+            [startup, block.size_mb, cpu_work, spill_mb],
+            ["init", "read", "cpu", "spill"],
+        )
 
         def startup_stage(done: Callable[[], None]) -> None:
             # JVM spawn + task initialization (a fixed CPU cost in Hadoop)
@@ -324,7 +379,8 @@ class TaskAttempt:
         cpu_work = shuffle_mb * profile.reduce_cpu_per_mb * self.work_factor
         out_mb = job.output_mb / n_reduces
         self._begin_stages(
-            [self.jt.task_startup_cpu_s, shuffle_mb, merge_mb, cpu_work, out_mb]
+            [self.jt.task_startup_cpu_s, shuffle_mb, merge_mb, cpu_work, out_mb],
+            ["init", "shuffle", "merge", "cpu", "output"],
         )
 
         def begin_shuffle() -> None:

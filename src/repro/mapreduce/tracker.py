@@ -68,10 +68,16 @@ class TaskTracker:
         if free <= 0:
             raise RuntimeError(f"{self.name} has no free {attempt.task.kind.value} slot")
         self.running.append(attempt)
+        metrics = attempt.sim.obs.metrics
+        metrics.counter("slots.assignments").inc()
+        metrics.gauge(f"tracker.{self.name}.running").set(len(self.running))
 
     def release(self, attempt: "TaskAttempt") -> None:
         if attempt in self.running:
             self.running.remove(attempt)
+            attempt.sim.obs.metrics.gauge(
+                f"tracker.{self.name}.running"
+            ).set(len(self.running))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskTracker({self.name!r}, running={len(self.running)})"

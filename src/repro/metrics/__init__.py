@@ -2,7 +2,7 @@
 
 from repro.metrics.collector import UtilizationCollector
 from repro.metrics.energy import EnergyReport, perf_per_energy
-from repro.metrics.report import format_table, format_series
+from repro.metrics.report import format_table, format_series, sla_latency_summary
 
 __all__ = [
     "UtilizationCollector",
@@ -10,4 +10,5 @@ __all__ = [
     "perf_per_energy",
     "format_table",
     "format_series",
+    "sla_latency_summary",
 ]

@@ -22,15 +22,20 @@ class UtilizationCollector:
         cluster: Cluster,
         interval_s: float = 60.0,
         per_machine: bool = False,
+        registry=None,
     ) -> None:
+        """``registry``: an optional :class:`repro.obs.MetricsRegistry`;
+        when given, samples land in its shared trace set so exporters
+        see them alongside the rest of the run's series."""
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.cluster = cluster
         self.interval_s = interval_s
         self.per_machine = per_machine
-        self.traces = TraceSet()
+        self.traces = registry.traces if registry is not None else TraceSet()
         self._cancel: Optional[Callable[[], None]] = None
+        self._last_sample_t: Optional[float] = None
 
     def start(self) -> None:
         if self._cancel is not None:
@@ -42,6 +47,9 @@ class UtilizationCollector:
         if self._cancel is not None:
             self._cancel()
             self._cancel = None
+            # close the series at the stop time so the last interval
+            # between cadence ticks is not silently dropped
+            self._sample()
 
     def _mem_utilization(self, pm) -> float:
         used = pm.native.mem_used_mb + sum(vm.mem_used_mb for vm in pm.vms)
@@ -52,6 +60,9 @@ class UtilizationCollector:
         pms = self.cluster.pms
         if not pms:
             return
+        if self._last_sample_t == now:
+            return  # stop() right on a cadence tick, or restart at stop time
+        self._last_sample_t = now
         cpu = sum(pm.cpu_pool.utilization for pm in pms) / len(pms)
         io = sum(pm.disk_pool.utilization for pm in pms) / len(pms)
         mem = sum(self._mem_utilization(pm) for pm in pms) / len(pms)

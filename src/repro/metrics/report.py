@@ -51,3 +51,31 @@ def format_series(name: str, points: Dict[object, Number]) -> str:
         for k, v in points.items()
     )
     return f"{name}: {body}"
+
+
+def sla_latency_summary(services: Sequence[object]) -> str:
+    """Latency table (mean / p50 / p95 / p99 ms, SLA, %violated) for
+    :class:`~repro.interactive.service.InteractiveService` objects.
+
+    Tail percentiles are the numbers SLAs are written against; means
+    hide exactly the excursions the IPS exists to prevent.
+    """
+    rows = []
+    for svc in services:
+        trace = svc.latency_trace
+        rows.append(
+            [
+                svc.name,
+                trace.mean() if len(trace) else 0.0,
+                trace.percentile(50.0),
+                trace.percentile(95.0),
+                trace.percentile(99.0),
+                svc.sla_ms,
+                100.0 * svc.violation_fraction(),
+            ]
+        )
+    return format_table(
+        ["service", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "sla_ms", "viol_%"],
+        rows,
+        title="interactive service latency",
+    )

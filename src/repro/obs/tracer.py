@@ -1,0 +1,206 @@
+"""Virtual-clock span tracing.
+
+A :class:`Span` is one named interval of *simulated* time on a named
+track (a TaskTracker, a host NIC, the DRM...).  Spans carry a category
+(``job``, ``task``, ``net``, ``migration``, ``scheduler``, ``sla``) and
+an optional parent, giving the nested job -> attempt -> phase timelines
+the exporters turn into Chrome trace-event JSON.
+
+The simulation is callback-driven, so spans are opened and closed
+explicitly (:meth:`Tracer.begin` / :meth:`Tracer.end`) rather than by a
+call stack; :meth:`Tracer.span` is a context manager for the few places
+(scheduler epochs) where one callback covers the whole interval.
+
+Tracing is opt-in: every :class:`~repro.obs.Observability` starts with
+the shared :data:`NULL_TRACER`, whose methods are no-ops and whose
+``enabled`` flag lets hot paths skip building span arguments entirely.
+Recording never draws randomness and never schedules events, so a run
+is byte-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+ParentLike = Union["Span", int, None]
+
+
+class Span:
+    """One named interval of virtual time."""
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "track",
+                 "start", "end", "args")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        track: str,
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.end: Optional[float] = None
+        self.args: Dict[str, object] = {}
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Span length; open spans are measured up to ``now``."""
+        end = self.end if self.end is not None else (now if now is not None else self.start)
+        return max(0.0, end - self.start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"end={self.end:.3f}" if self.end is not None else "open"
+        return f"Span(#{self.span_id} {self.name!r} @{self.start:.3f} {state})"
+
+
+def _parent_id(parent: ParentLike) -> Optional[int]:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        return parent.span_id or None  # the null span (id 0) is no parent
+    return parent or None
+
+
+class Tracer:
+    """Records spans and instant events against a virtual clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.spans: List[Span] = []
+        self.instants: List[dict] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        parent: ParentLike = None,
+        **args: object,
+    ) -> Span:
+        span = Span(
+            next(self._ids), _parent_id(parent), name, category, track, self._clock()
+        )
+        if args:
+            span.args.update(args)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Optional[Span], **args: object) -> None:
+        """Close ``span`` at the current virtual time (idempotent)."""
+        if span is None or span.span_id == 0:
+            return
+        if span.end is None:
+            span.end = self._clock()
+        if args:
+            span.args.update(args)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        parent: ParentLike = None,
+        **args: object,
+    ) -> Iterator[Span]:
+        handle = self.begin(name, category, track, parent, **args)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    # ------------------------------------------------------------------
+    # instants
+    # ------------------------------------------------------------------
+    def instant(
+        self, name: str, category: str = "", track: str = "main", **args: object
+    ) -> None:
+        """A zero-duration point event (DRM action, SLA violation...)."""
+        self.instants.append(
+            {
+                "name": name,
+                "cat": category,
+                "track": track,
+                "ts": self._clock(),
+                "args": dict(args),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def spans_of(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+
+class NullTracer:
+    """Disabled tracer: same surface as :class:`Tracer`, all no-ops.
+
+    Hot paths check :attr:`enabled` before building argument dicts; the
+    methods still exist so cold paths may call them unconditionally.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[dict] = []
+
+    def begin(self, name, category="", track="main", parent=None, **args) -> Span:
+        return NULL_SPAN
+
+    def end(self, span, **args) -> None:
+        return None
+
+    @contextmanager
+    def span(self, name, category="", track="main", parent=None, **args) -> Iterator[Span]:
+        yield NULL_SPAN
+
+    def instant(self, name, category="", track="main", **args) -> None:
+        return None
+
+    def open_spans(self) -> List[Span]:
+        return []
+
+    def spans_of(self, category: str) -> List[Span]:
+        return []
+
+    def children_of(self, span: Span) -> List[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: span handed out by the null tracer; ``Tracer.end`` ignores it
+NULL_SPAN = Span(0, None, "", "", "", 0.0)
+
+#: shared disabled tracer (stateless, so one instance serves everyone)
+NULL_TRACER = NullTracer()

@@ -15,6 +15,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import Observability
+
 
 @dataclass(order=True)
 class Event:
@@ -56,6 +58,9 @@ class Simulator:
         self._seq = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: observability handle shared by every subsystem on this
+        #: simulator; tracing is off until ``obs.enable_tracing()``
+        self.obs = Observability(clock=lambda: self.now)
 
     # ------------------------------------------------------------------
     # scheduling

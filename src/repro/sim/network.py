@@ -37,6 +37,7 @@ class Flow:
         "label",
         "started_at",
         "is_loopback",
+        "span",
     )
 
     def __init__(
@@ -59,6 +60,7 @@ class Flow:
         self.label = label
         self.started_at = started_at
         self.is_loopback = False
+        self.span = None  # tracer span while tracing is enabled
 
     def eta(self) -> float:
         if self.remaining <= _EPS:
@@ -192,8 +194,11 @@ class NetworkFabric:
             raise ValueError("flow size must be non-negative")
         self._advance()
         flow = Flow(src, dst, mb, on_complete, efficiency, label, self.sim.now)
+        obs = self.sim.obs
+        obs.metrics.counter("net.flows.started").inc()
         if mb <= _EPS:
             flow.done = True
+            obs.metrics.counter("net.flows.completed").inc()
             if on_complete is not None:
                 self.sim.schedule(0.0, on_complete)
             self._rebalance()
@@ -203,6 +208,16 @@ class NetworkFabric:
             self._loop_flows.append(flow)
         else:
             self._flows.append(flow)
+        if obs.tracer.enabled:
+            flow.span = obs.tracer.begin(
+                label or f"{src}->{dst}",
+                category="net",
+                track=f"net:{dst}",
+                src=src,
+                dst=dst,
+                mb=mb,
+                loopback=flow.is_loopback,
+            )
         self._rebalance()
         return flow
 
@@ -216,6 +231,11 @@ class NetworkFabric:
             self._loop_flows.remove(flow)
         flow.done = True
         flow.rate = 0.0
+        obs = self.sim.obs
+        obs.metrics.counter("net.flows.cancelled").inc()
+        if flow.span is not None:
+            obs.tracer.end(flow.span, cancelled=True, left_mb=flow.remaining)
+            flow.span = None
         self._rebalance()
 
     @property
@@ -243,6 +263,7 @@ class NetworkFabric:
                 self.cross_host_mb += moved
             if flow.remaining <= _EPS:
                 finished.append(flow)
+        obs = self.sim.obs
         for flow in finished:
             if flow in self._flows:
                 self._flows.remove(flow)
@@ -250,6 +271,10 @@ class NetworkFabric:
                 self._loop_flows.remove(flow)
             flow.done = True
             flow.rate = 0.0
+            obs.metrics.counter("net.flows.completed").inc()
+            if flow.span is not None:
+                obs.tracer.end(flow.span)
+                flow.span = None
             if flow.on_complete is not None:
                 flow.on_complete()
 

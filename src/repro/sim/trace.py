@@ -9,7 +9,27 @@ probe...).
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in [0, 100]).
+
+    Matches numpy's default method; returns 0.0 for an empty sequence
+    (consistent with the other empty-trace statistics).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
 
 
 class Trace:
@@ -47,6 +67,10 @@ class Trace:
 
     def max(self) -> float:
         return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of samples (``q`` in [0, 100])."""
+        return percentile(self.values, q)
 
     def min(self) -> float:
         return min(self.values) if self.values else 0.0

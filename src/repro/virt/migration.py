@@ -91,6 +91,19 @@ class LiveMigration:
             vm.spec.mem_mb * (1.0 + self.config.dirty_amplification * self._activity)
             + extra_data_mb
         )
+        obs = sim.obs
+        obs.metrics.counter("migrations.started").inc()
+        self._span = obs.tracer.begin(
+            f"migrate:{vm.name}",
+            category="migration",
+            track="migration",
+            src=self.src_pm.name,
+            dst=dst_pm.name,
+            mem_mb=vm.spec.mem_mb,
+            copy_mb=copy_mb,
+            activity=self._activity,
+        ) if obs.tracer.enabled else None
+        self._pause_span = None
         self._flow = fabric.start_flow(
             self.src_pm.name,
             dst_pm.name,
@@ -104,6 +117,14 @@ class LiveMigration:
         # stop-and-copy: pause the guest for the downtime window
         cfg = self.config
         self.vm.pause()
+        tracer = self.sim.obs.tracer
+        if tracer.enabled and self._span is not None:
+            self._pause_span = tracer.begin(
+                "stop-and-copy",
+                category="migration",
+                track="migration",
+                parent=self._span,
+            )
         jitter = 1.0 + cfg.downtime_jitter * (2.0 * self.rng.random() - 1.0)
         downtime_ms = (
             cfg.base_downtime_ms + cfg.activity_downtime_ms * self._activity
@@ -153,6 +174,16 @@ class LiveMigration:
             migration_time_s=self.sim.now - self.started_at,
             downtime_ms=downtime_ms,
             activity_level=self._activity,
+        )
+        obs = self.sim.obs
+        obs.metrics.counter("migrations.completed").inc()
+        obs.metrics.histogram("migration.time_s").observe(self.record.migration_time_s)
+        obs.metrics.histogram("migration.downtime_ms").observe(downtime_ms)
+        obs.tracer.end(self._pause_span, downtime_ms=downtime_ms)
+        obs.tracer.end(
+            self._span,
+            migration_time_s=self.record.migration_time_s,
+            downtime_ms=downtime_ms,
         )
         if self.on_complete is not None:
             self.on_complete(self.record)

@@ -121,6 +121,10 @@ def make_job(
     16-way map split since its input is negligible.
     """
     if benchmark not in BENCHMARKS_BY_NAME:
+        # accept any casing ("wcount", "WCOUNT") on the CLI path
+        folded = {b.lower(): b for b in BENCHMARKS_BY_NAME}
+        benchmark = folded.get(benchmark.lower(), benchmark)
+    if benchmark not in BENCHMARKS_BY_NAME:
         raise KeyError(
             f"unknown benchmark {benchmark!r}; choose from "
             f"{sorted(BENCHMARKS_BY_NAME)}"

@@ -6,7 +6,7 @@ import pytest
 
 from repro.metrics.collector import UtilizationCollector
 from repro.metrics.energy import EnergyReport, perf_per_energy
-from repro.metrics.report import format_series, format_table
+from repro.metrics.report import format_series, format_table, sla_latency_summary
 
 
 def test_collector_samples_all_metrics(sim, native_cluster):
@@ -27,6 +27,49 @@ def test_collector_per_machine_traces(sim, native_cluster):
     sim.run(until=3.0)
     collector.stop()
     assert "cpu:pm00" in collector.traces
+
+
+def test_collector_stop_records_final_sample(sim, native_cluster):
+    collector = UtilizationCollector(sim, native_cluster, interval_s=10.0)
+    collector.start()
+    sim.schedule(25.0, collector.stop)
+    sim.run()
+    # cadence samples at 0/10/20 plus the closing sample at stop time
+    assert collector.traces["cpu"].times == [0.0, 10.0, 20.0, 25.0]
+
+
+def test_collector_stop_on_cadence_tick_does_not_duplicate(sim, native_cluster):
+    collector = UtilizationCollector(sim, native_cluster, interval_s=10.0)
+    collector.start()
+    sim.schedule(20.0, collector.stop)
+    sim.run()
+    assert collector.traces["cpu"].times == [0.0, 10.0, 20.0]
+
+
+def test_collector_restarts_after_stop(sim, native_cluster):
+    collector = UtilizationCollector(sim, native_cluster, interval_s=10.0)
+    collector.start()
+    sim.schedule(15.0, collector.stop)
+    sim.schedule(15.0, collector.start)
+    sim.schedule(40.0, collector.stop)
+    sim.run()
+    times = collector.traces["cpu"].times
+    assert times == [0.0, 10.0, 15.0, 25.0, 35.0, 40.0]
+    assert len(times) == len(set(times))
+
+
+def test_collector_publishes_into_registry(sim, native_cluster):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    collector = UtilizationCollector(
+        sim, native_cluster, interval_s=10.0, registry=registry
+    )
+    collector.start()
+    sim.run(until=20.0)
+    collector.stop()
+    assert registry.timeseries("cpu") is collector.traces["cpu"]
+    assert "cpu" in registry.snapshot()["series"]
 
 
 def test_perf_per_energy_ordering():

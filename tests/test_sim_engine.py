@@ -146,6 +146,59 @@ def test_pending_counts_live_events(sim):
     assert sim.pending == 1
 
 
+def test_cancel_from_inside_callback(sim):
+    fired = []
+    later = sim.schedule(2.0, lambda: fired.append("later"))
+    sim.schedule(1.0, later.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_call_every_cancel_before_first_fire(sim):
+    ticks = []
+    cancel = sim.call_every(1.0, lambda: ticks.append(sim.now))
+    cancel()
+    sim.run()
+    assert ticks == []
+
+
+def test_call_every_canceller_is_idempotent(sim):
+    ticks = []
+    cancel = sim.call_every(1.0, lambda: ticks.append(sim.now), until=3.0)
+    sim.schedule(1.5, cancel)
+    sim.schedule(1.6, cancel)
+    sim.run()
+    assert ticks == [1.0]
+
+
+def test_call_every_start_param(sim):
+    ticks = []
+    sim.call_every(1.0, lambda: ticks.append(sim.now), start=3.0, until=5.0)
+    sim.run()
+    assert ticks == [3.0, 4.0, 5.0]
+
+
+def test_call_every_restart_after_cancel(sim):
+    ticks = []
+    cancel = sim.call_every(1.0, lambda: ticks.append(("a", sim.now)))
+    sim.schedule(2.5, cancel)
+
+    def restart():
+        sim.call_every(1.0, lambda: ticks.append(("b", sim.now)), until=6.0)
+
+    sim.schedule(4.0, restart)
+    sim.run()
+    assert ticks == [("a", 1.0), ("a", 2.0), ("b", 5.0), ("b", 6.0)]
+
+
 def test_max_events_guard():
     sim = Simulator()
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.sequence import Join, chain, join
-from repro.sim.trace import Trace, TraceSet
+from repro.sim.trace import Trace, TraceSet, percentile
 
 
 # ----------------------------------------------------------------------
@@ -124,3 +124,66 @@ def test_empty_trace_stats_are_zero():
     assert trace.max() == 0.0
     assert trace.time_weighted_mean() == 0.0
     assert trace.last is None
+
+
+def test_window_of_empty_trace_is_empty():
+    assert len(Trace().window(0.0, 100.0)) == 0
+
+
+def test_window_is_inclusive_on_both_boundaries():
+    trace = Trace()
+    for t in (1.0, 2.0, 3.0):
+        trace.record(t, t)
+    assert trace.window(1.0, 3.0).times == [1.0, 2.0, 3.0]
+    assert trace.window(1.5, 2.5).times == [2.0]
+    assert trace.window(4.0, 9.0).times == []
+
+
+def test_value_at_exact_sample_time():
+    trace = Trace()
+    trace.record(1.0, 10.0)
+    trace.record(3.0, 20.0)
+    assert trace.value_at(1.0) == 10.0
+    assert trace.value_at(3.0) == 20.0
+
+
+def test_value_at_on_empty_trace():
+    assert Trace().value_at(0.0) is None
+
+
+# ----------------------------------------------------------------------
+# percentile
+# ----------------------------------------------------------------------
+def test_percentile_interpolates_linearly():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 100.0) == 40.0
+    assert percentile(values, 50.0) == pytest.approx(25.0)
+    assert percentile(values, 95.0) == pytest.approx(38.5)
+
+
+def test_percentile_is_order_insensitive():
+    assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 99.0) == 7.0
+
+
+def test_percentile_empty_is_zero():
+    assert percentile([], 95.0) == 0.0
+
+
+def test_percentile_rejects_bad_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def test_trace_percentile_delegates():
+    trace = Trace("lat")
+    for t, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+        trace.record(float(t), v)
+    assert trace.percentile(50.0) == pytest.approx(25.0)
+    assert Trace().percentile(99.0) == 0.0
