@@ -26,7 +26,7 @@ from repro.metrics.report import format_series, format_table
 def _scale(name: str):
     from repro.experiments import common
 
-    return {"small": common.SMALL, "medium": common.MEDIUM, "paper": common.PAPER}[name]
+    return common.resolve_scale(name)
 
 
 def _fig1a(scale, seed):
@@ -239,6 +239,10 @@ def cmd_list(args) -> int:
     print("\nfigures (repro figure <id>):")
     for fig in FIGURES:
         print(f"  {fig}")
+    from repro.sweep import cell_names
+
+    print("\nsweep cells (repro sweep <cell> --seeds ...):")
+    print("  " + " ".join(cell_names()))
     print("\nthe full per-figure harness lives in benchmarks/ "
           "(pytest benchmarks/ --benchmark-only -s)")
     return 0
@@ -324,11 +328,69 @@ def cmd_trace(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    if args.id not in FIGURES:
+    # figure ids are case-insensitive, like benchmark names on `run`
+    fig_id = args.id.lower()
+    if fig_id not in FIGURES:
         print(f"unknown figure {args.id!r}; choose from {', '.join(FIGURES)}",
               file=sys.stderr)
         return 2
-    print(FIGURES[args.id](_scale(args.scale), args.seed))
+    print(FIGURES[fig_id](_scale(args.scale), args.seed))
+    return 0
+
+
+def _parse_sweep_params(entries) -> dict:
+    """``key=v1,v2`` strings -> {key: [v1, v2]} with JSON-typed values."""
+    import json
+
+    def typed(text: str):
+        try:
+            return json.loads(text)
+        except ValueError:
+            return text
+
+    params = {}
+    for entry in entries:
+        key, sep, body = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --param {entry!r}; expected KEY=VALUE[,VALUE...]")
+        params[key] = [typed(part) for part in body.split(",")]
+    return params
+
+
+def cmd_sweep(args) -> int:
+    import json
+
+    from repro.sweep import ResultCache, SweepSpec, format_report, run_sweep
+
+    try:
+        spec = SweepSpec(
+            figures=args.figures,
+            scales=args.scales,
+            seeds=args.seeds,
+            params=_parse_sweep_params(args.param),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cache = None if args.cache_dir.lower() == "none" else ResultCache(args.cache_dir)
+    n = len(spec.cells())
+    state = {"done": 0}
+
+    def progress(line: str) -> None:
+        state["done"] += 1
+        print(f"  [{state['done']}/{n}] {line}")
+
+    report = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(format_report(report))
+    print(f"\nwrote {args.out}")
     return 0
 
 
@@ -393,6 +455,36 @@ def build_parser() -> argparse.ArgumentParser:
                      default="small")
     fig.add_argument("--seed", type=int, default=7)
     fig.set_defaults(func=cmd_figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a cached, parallel multi-seed experiment sweep",
+        description="Expand a (figure x scale x seed x param) grid, run "
+        "the cells across worker processes with content-addressed result "
+        "caching, and write the cross-seed aggregation as JSON.",
+    )
+    sweep.add_argument(
+        "figures", nargs="+",
+        help="experiment cells (fig01, fig02, fig05, fig06, fig08, fig09, "
+        "fig10, fig11, headline)",
+    )
+    sweep.add_argument("--scales", "--scale", nargs="+", default=["small"],
+                       help="scales to sweep (tiny|small|medium|paper)")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3, 4])
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = inline)")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=V1[,V2...]",
+                       help="extra cell parameter axis (repeatable); "
+                       "values are parsed as JSON where possible")
+    sweep.add_argument("--cache-dir", default=".repro-sweep-cache",
+                       help="result cache location ('none' disables storage)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="re-execute every cell (fresh results still "
+                       "refresh the cache)")
+    sweep.add_argument("--out", default="BENCH_sweep.json",
+                       help="aggregated report path")
+    sweep.set_defaults(func=cmd_sweep)
 
     prof = sub.add_parser("profile", help="train the Phase I profiler")
     prof.add_argument("benchmark")

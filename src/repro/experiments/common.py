@@ -38,9 +38,38 @@ class Scale:
         return max(0.0625, PAPER_INPUT_GB[benchmark] * self.input_fraction)
 
 
+TINY = Scale("tiny", pms=4, vms_per_pm=2, input_fraction=0.08)
 SMALL = Scale("small", pms=8, vms_per_pm=2, input_fraction=0.15)
 MEDIUM = Scale("medium", pms=12, vms_per_pm=2, input_fraction=0.4)
 PAPER = Scale("paper", pms=24, vms_per_pm=2, input_fraction=1.0)
+
+#: every named scale, as referenced by the CLI and sweep specs.  TINY
+#: exists for smoke runs and tests; figures are reported at SMALL+.
+SCALES: Dict[str, Scale] = {s.name: s for s in (TINY, SMALL, MEDIUM, PAPER)}
+
+
+def resolve_scale(name) -> Scale:
+    """Look up a scale by (case-insensitive) name; Scale passes through."""
+    if isinstance(name, Scale):
+        return name
+    scale = SCALES.get(str(name).lower())
+    if scale is None:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        )
+    return scale
+
+
+def as_tuple(value) -> tuple:
+    """Normalize a scalar-or-sequence cell parameter to a tuple.
+
+    Sweep parameters arrive as scalars (``--param parts=fig1c``) or
+    JSON lists; experiment signatures want sequences.  Strings count as
+    scalars, not character sequences.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
 
 
 def make_sim(seed: int, tracing: bool = False) -> Simulator:

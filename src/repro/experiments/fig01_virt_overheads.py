@@ -14,7 +14,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.experiments.common import BENCH_NAMES, PAPER, Scale, pct_increase, run_single_job
+from repro.experiments.common import (
+    BENCH_NAMES,
+    PAPER,
+    Scale,
+    as_tuple,
+    pct_increase,
+    run_single_job,
+)
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.testdfsio import TestDFSIO
 from repro.sim.engine import Simulator
@@ -111,6 +118,40 @@ def _dfsio_run(
         "r_tput": results["read"].throughput_mbps,
         "w_tput": results["write"].throughput_mbps,
     }
+
+
+def run(
+    scale: Scale = PAPER,
+    seed: int = 7,
+    parts: Sequence[str] = ("fig1a", "fig1c"),
+    benchmarks: Optional[Sequence[str]] = None,
+    densities: Sequence[int] = (1, 2, 4),
+    sizes_gb: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+) -> Dict[str, dict]:
+    """Sweep cell: Figure 1 results as one JSON-able dict.
+
+    Pure in (scale, seed, params) and picklable by module reference, so
+    :mod:`repro.sweep` can schedule it in worker processes; the fig1a /
+    fig1b / fig1c functions keep working standalone.
+    """
+    parts = as_tuple(parts)
+    benchmarks = as_tuple(benchmarks) if benchmarks else None
+    unknown = set(parts) - {"fig1a", "fig1b", "fig1c"}
+    if unknown:
+        raise ValueError(f"unknown fig01 parts {sorted(unknown)}")
+    out: Dict[str, dict] = {}
+    if "fig1a" in parts:
+        out["fig1a"] = fig1a(
+            scale, densities=as_tuple(densities), benchmarks=benchmarks, seed=seed
+        )
+    if "fig1b" in parts:
+        out["fig1b"] = fig1b(
+            scale, sizes_gb=as_tuple(sizes_gb), densities=as_tuple(densities),
+            seed=seed,
+        )
+    if "fig1c" in parts:
+        out["fig1c"] = fig1c(scale, sizes_gb=as_tuple(sizes_gb), seed=seed)
+    return out
 
 
 def fig1c(

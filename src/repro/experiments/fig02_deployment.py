@@ -15,7 +15,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.experiments.common import BENCH_NAMES, PAPER, Scale, mean, run_single_job
+from repro.experiments.common import (
+    BENCH_NAMES,
+    PAPER,
+    Scale,
+    as_tuple,
+    mean,
+    run_single_job,
+)
 from repro.mapreduce.cluster import MapReduceCluster
 from repro.sim.engine import Simulator
 from repro.workloads.specs import make_job
@@ -136,3 +143,29 @@ def fig2d(
 def fig2d_mean_gain_pct(normalized: Dict[str, float]) -> float:
     """Average % improvement of split over combined."""
     return mean([100.0 * (1.0 - v) for v in normalized.values()])
+
+
+def run(
+    scale: Scale = PAPER,
+    seed: int = 7,
+    parts: Sequence[str] = ("fig2a", "fig2b", "fig2c", "fig2d"),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Sweep cell: Figure 2 deployment results as one JSON-able dict."""
+    parts = as_tuple(parts)
+    benchmarks = as_tuple(benchmarks) if benchmarks else None
+    unknown = set(parts) - {"fig2a", "fig2b", "fig2c", "fig2d"}
+    if unknown:
+        raise ValueError(f"unknown fig02 parts {sorted(unknown)}")
+    out: Dict[str, object] = {}
+    if "fig2a" in parts:
+        out["fig2a"] = fig2a(scale, seed=seed)
+    if "fig2b" in parts:
+        out["fig2b"] = fig2b(scale, seed=seed)
+    if "fig2c" in parts:
+        out["fig2c"] = fig2c(scale, benchmarks=benchmarks, seed=seed)
+    if "fig2d" in parts:
+        table = fig2d(scale, benchmarks=benchmarks, seed=seed)
+        out["fig2d"] = table
+        out["fig2d_mean_gain_pct"] = fig2d_mean_gain_pct(table)
+    return out

@@ -86,6 +86,30 @@ def fig5d(
     return out
 
 
+def run(
+    scale=None,
+    seed: int = 7,
+    data_sizes_gb: Sequence[float] = (2.0, 5.0, 8.0, 11.0, 15.0),
+    cluster_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+) -> Dict[str, Dict]:
+    """Sweep cell: Figure 5(d) curves + linearity fit.
+
+    The profiling curves are defined over explicit data/cluster sizes
+    rather than a deployment scale, so ``scale`` is accepted (sweep
+    cells all share one signature) but unused.
+    """
+    from repro.experiments.common import as_tuple
+
+    del scale
+    sizes = as_tuple(data_sizes_gb)
+    clusters = as_tuple(cluster_sizes)
+    curves = fig5d(data_sizes_gb=sizes, cluster_sizes=clusters, seed=seed)
+    return {
+        "fig5d": curves,
+        "r2": {size: linearity_r2(series) for size, series in curves.items()},
+    }
+
+
 def linearity_r2(series: Dict[float, float]) -> float:
     """R-squared of a linear fit through one fig5d series."""
     from repro.interference.regression import fit_line, r_squared

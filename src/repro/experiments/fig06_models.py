@@ -160,3 +160,31 @@ def fig6c(
             for mbps in io_loads_mbps
         }
     return out
+
+
+def run(
+    scale=None,
+    seed: int = 7,
+    parts: Sequence[str] = ("fig6a", "fig6b", "fig6c"),
+) -> Dict[str, Dict]:
+    """Sweep cell: profiling accuracy + interference curves.
+
+    The interference study runs on a fixed quad-core host (as in the
+    paper), so ``scale`` is accepted but unused; fig6a's profiling grid
+    is deterministic and seed-free by construction.
+    """
+    from repro.experiments.common import as_tuple
+
+    del scale
+    parts = as_tuple(parts)
+    unknown = set(parts) - {"fig6a", "fig6b", "fig6c"}
+    if unknown:
+        raise ValueError(f"unknown fig06 parts {sorted(unknown)}")
+    out: Dict[str, Dict] = {}
+    if "fig6a" in parts:
+        out["fig6a"] = fig6a()
+    if "fig6b" in parts:
+        out["fig6b"] = fig6b(seed=seed)
+    if "fig6c" in parts:
+        out["fig6c"] = fig6c(seed=seed)
+    return out

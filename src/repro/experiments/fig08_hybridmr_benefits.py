@@ -20,7 +20,14 @@ from repro.cluster.cluster import Cluster
 from repro.core.drm import DynamicResourceManager
 from repro.core.profiling import JobProfiler, ProfileDatabase
 from repro.core.scheduler import HybridMRConfig, HybridMRScheduler
-from repro.experiments.common import BENCH_NAMES, SMALL, Scale, mean, pct_reduction
+from repro.experiments.common import (
+    BENCH_NAMES,
+    SMALL,
+    Scale,
+    as_tuple,
+    mean,
+    pct_reduction,
+)
 from repro.interactive.loadgen import ConstantLoad
 from repro.interactive.service import RUBIS, InteractiveService
 from repro.mapreduce.cluster import MapReduceCluster
@@ -355,4 +362,42 @@ def fig8d(
             out[regime][clients] = _rubis_run(
                 clients, regime, pms, seed, horizon_s, batch_gb
             )
+    return out
+
+
+def run(
+    scale: Scale = SMALL,
+    seed: int = 7,
+    parts: Sequence[str] = ("fig8b", "fig8c"),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Sweep cell: HybridMR benefit tables as one JSON-able dict.
+
+    Defaults to the Phase II ablations (8b, 8c): one seed each, so the
+    sweep layer owns cross-seed replication.  ``parts`` can add
+    ``fig8a`` (Phase I placement, run at this cell's single seed) and
+    ``fig8d`` (RUBiS latency curves) for the full figure family.
+    """
+    parts = as_tuple(parts)
+    benchmarks = as_tuple(benchmarks) if benchmarks else None
+    unknown = set(parts) - {"fig8a", "fig8b", "fig8c", "fig8d"}
+    if unknown:
+        raise ValueError(f"unknown fig08 parts {sorted(unknown)}")
+    out: Dict[str, object] = {}
+    if "fig8a" in parts:
+        out["fig8a"] = fig8a(scale, seeds=(seed,))
+    if "fig8b" in parts:
+        table = fig8b(scale, benchmarks=benchmarks, seed=seed)
+        avg, best = summarize_reduction(table, "cpu+memory+io")
+        out["fig8b"] = table
+        out["fig8b_avg_pct"] = avg
+        out["fig8b_max_pct"] = best
+    if "fig8c" in parts:
+        table = fig8c(scale, benchmarks=benchmarks, seed=seed)
+        avg, best = summarize_reduction(table, "cpu+memory+io")
+        out["fig8c"] = table
+        out["fig8c_avg_pct"] = avg
+        out["fig8c_max_pct"] = best
+    if "fig8d" in parts:
+        out["fig8d"] = fig8d(pms=scale.pms, seed=seed)
     return out

@@ -257,3 +257,20 @@ def fig9a(
     }
     scheduler.stop()
     return result
+
+
+def run(scale: Scale = SMALL, seed: int = 7) -> Dict[str, object]:
+    """Sweep cell: cross-platform design comparison (9b + 9c)."""
+    from dataclasses import asdict
+
+    result = fig9b_9c(scale=scale, seed=seed)
+    reports = [
+        {**asdict(r), "perf_per_energy": r.perf_per_energy}
+        for r in result["reports"]
+    ]
+    return {
+        "jct_normalized": result["jct_normalized"],
+        "jct_seconds": result["jct_seconds"],
+        "metrics": result["metrics"],
+        "reports": reports,
+    }

@@ -170,3 +170,34 @@ def migration_summary(
             "max_downtime_ms": max(downs),
         }
     return summary
+
+
+def run(
+    scale: Scale = SMALL,
+    seed: int = 7,
+    parts: Sequence[str] = ("fig10bc",),
+    mem_sizes_mb: Sequence[float] = (512.0, 1024.0),
+) -> Dict[str, object]:
+    """Sweep cell: migration cost summary (and optionally fig10a means).
+
+    The migrated cluster tracks the scale's VM count (the paper migrates
+    all 24 VMs of the half-size testbed); fig10a is opt-in via ``parts``
+    because its 20-minute horizon dominates cell cost.
+    """
+    from repro.experiments.common import as_tuple
+
+    parts = as_tuple(parts)
+    unknown = set(parts) - {"fig10a", "fig10bc"}
+    if unknown:
+        raise ValueError(f"unknown fig10 parts {sorted(unknown)}")
+    out: Dict[str, object] = {}
+    if "fig10a" in parts:
+        out["fig10a_means"] = fig10a_means(fig10a(scale, seed=seed))
+    if "fig10bc" in parts:
+        records = fig10bc(
+            n_vms=max(4, 2 * scale.pms),
+            mem_sizes_mb=as_tuple(mem_sizes_mb),
+            seed=seed,
+        )
+        out["fig10bc"] = migration_summary(records)
+    return out

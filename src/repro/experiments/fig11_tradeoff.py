@@ -198,3 +198,28 @@ def best_and_worst(results: List[ConfigResult]) -> Tuple[ConfigResult, ConfigRes
     """(best, worst) by Performance/Energy, as the paper highlights."""
     ordered = sorted(results, key=lambda r: r.perf_per_energy)
     return ordered[-1], ordered[0]
+
+
+def run(
+    scale: Scale = SMALL, seed: int = 7, horizon_s: float = 900.0
+) -> Dict[str, object]:
+    """Sweep cell: the configuration trade-off surface as plain dicts."""
+    results = fig11(scale, horizon_s=horizon_s, seed=seed)
+    best, worst = best_and_worst(results)
+    return {
+        "configs": [
+            {
+                "label": r.label,
+                "n_native_pms": r.n_native_pms,
+                "n_vms": r.n_vms,
+                "servers": r.servers,
+                "mean_jct_s": r.mean_jct_s,
+                "energy_joules": r.energy_joules,
+                "utilization": r.utilization,
+                "perf_per_energy": r.perf_per_energy,
+            }
+            for r in results
+        ],
+        "best": best.label,
+        "worst": worst.label,
+    }

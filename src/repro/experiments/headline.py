@@ -44,3 +44,11 @@ def headline_numbers(scale: Scale = SMALL, seed: int = 7) -> Dict[str, float]:
         * (native.energy_joules - hybrid.energy_joules)
         / native.energy_joules,
     }
+
+
+def run(scale: Scale = SMALL, seed: int = 7) -> Dict[str, Dict[str, float]]:
+    """Sweep cell: measured headline claims next to the paper's."""
+    return {
+        "measured": headline_numbers(scale, seed=seed),
+        "paper": dict(PAPER_HEADLINE),
+    }

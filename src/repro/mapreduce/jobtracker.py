@@ -137,6 +137,32 @@ class JobTracker:
         self.request_dispatch()
         return job
 
+    def on_complete(self, job_id: int, fn: Callable[[Job], None]) -> None:
+        """Register ``fn`` to run when job ``job_id`` finishes.
+
+        The public successor to poking ``_callbacks`` directly: callbacks
+        compose (several registrations all fire, in registration order,
+        after any ``submit(on_complete=...)`` callback), and registering
+        against an already finished job fires immediately.  Unknown job
+        ids raise ``KeyError``.
+        """
+        for job in self.finished_jobs:
+            if job.job_id == job_id:
+                fn(job)
+                return
+        if all(job.job_id != job_id for job in self.active_jobs):
+            raise KeyError(f"unknown job id {job_id}")
+        existing = self._callbacks.get(job_id)
+        if existing is None:
+            self._callbacks[job_id] = fn
+        else:
+
+            def chained(job: Job, _first=existing, _then=fn) -> None:
+                _first(job)
+                _then(job)
+
+            self._callbacks[job_id] = chained
+
     def kill_job(self, job: Job) -> None:
         for task in job.map_tasks + job.reduce_tasks:
             for attempt in list(task.running_attempts):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from repro.obs.capture import MetricsCapture, active_capture
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
@@ -66,6 +67,8 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "MetricsRegistry",
+    "MetricsCapture",
+    "active_capture",
     "Counter",
     "Gauge",
     "Histogram",

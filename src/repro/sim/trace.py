@@ -127,6 +127,24 @@ class TraceSet:
     def record(self, name: str, time: float, value: float) -> None:
         self.get(name).record(time, value)
 
+    def adopt(self, name: str, trace: Trace) -> Trace:
+        """Bind an externally owned ``trace`` under ``name``.
+
+        Publishing an existing trace into a shared namespace (e.g. a
+        collector's series into a run's metrics registry) must not
+        silently interleave two writers: rebinding a name to a
+        *different* trace raises, so each publisher needs its own name
+        (use a prefix).  Re-adopting the same trace is a no-op.
+        """
+        existing = self._traces.get(name)
+        if existing is not None and existing is not trace:
+            raise ValueError(
+                f"trace name {name!r} is already bound to another series; "
+                "publish under a distinct prefix instead of sharing names"
+            )
+        self._traces[name] = trace
+        return trace
+
     def names(self) -> List[str]:
         return sorted(self._traces)
 

@@ -1,0 +1,36 @@
+"""Parallel experiment sweeps with content-addressed result caching.
+
+The substrate for every parameter study in the reproduction: define a
+grid of figure cells (scale × seed × parameters) as a
+:class:`SweepSpec`, execute it with :func:`run_sweep` -- fanned out
+across worker processes and satisfied from the on-disk
+:class:`ResultCache` where possible -- and read the cross-seed
+aggregation (mean / stdev / p50 / p95 / bootstrap CI per metric) from
+the returned report, which ``repro sweep`` also writes as
+``BENCH_sweep.json``.
+
+Determinism contract: a cell is a pure function of (repro version,
+figure, scale, seed, params).  The same cell run inline, in a worker
+process, or served from cache yields a byte-identical result document.
+"""
+
+from repro.sweep.aggregate import aggregate_cells, flatten, format_report, summarize
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, cell_key
+from repro.sweep.cells import cell_names
+from repro.sweep.runner import execute_cell, run_sweep
+from repro.sweep.spec import CellSpec, SweepSpec
+
+__all__ = [
+    "SweepSpec",
+    "CellSpec",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "cell_key",
+    "cell_names",
+    "execute_cell",
+    "run_sweep",
+    "aggregate_cells",
+    "flatten",
+    "summarize",
+    "format_report",
+]

@@ -1,0 +1,84 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+A cell's address is the SHA-256 of its *normalized* configuration plus
+the repro version (and a cache schema version), so:
+
+- re-running an unchanged sweep is a pure cache hit;
+- changing any knob -- figure, scale, seed, a parameter -- changes the
+  address, never overwrites another cell;
+- upgrading the package invalidates everything at once, which is the
+  conservative and correct default for a simulator whose outputs are a
+  function of its code.
+
+Entries are single JSON documents under ``<root>/<aa>/<hash>.json``
+(two-level fan-out keeps directories small).  Writes go through a
+temp-file + ``os.replace`` so a crashed run never leaves a torn entry;
+unreadable entries are treated as misses and re-executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+import repro
+
+#: bump to invalidate every cached cell regardless of repro version
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".repro-sweep-cache"
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(config: dict, version: Optional[str] = None) -> str:
+    """SHA-256 content address of one cell configuration."""
+    doc = {
+        "cache_schema": CACHE_SCHEMA,
+        "repro": version if version is not None else repro.__version__,
+        "config": config,
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed map from content address to result document."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, doc: dict) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

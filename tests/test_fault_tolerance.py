@@ -16,7 +16,7 @@ def build(n=6, seed=9):
 
 
 def run_to_completion(sim, mr, job, timeout=5000.0):
-    mr.jt._callbacks[job.job_id] = lambda j: sim.stop()
+    mr.jt.on_complete(job.job_id, lambda j: sim.stop())
     sim.run(until=sim.now + timeout)
     mr.jt.shutdown()
     return job
@@ -108,7 +108,7 @@ def test_storage_only_failure_in_split_architecture():
     mr = MapReduceCluster(sim, cluster.fabric, compute, storage_contexts=storage)
     job = mr.submit(make_job("Wcount", input_gb=0.5, num_reducers=4))
     sim.schedule(2.0, lambda: mr.fail_node(storage[0]))
-    mr.jt._callbacks[job.job_id] = lambda j: sim.stop()
+    mr.jt.on_complete(job.job_id, lambda j: sim.stop())
     sim.run(until=5000.0)
     assert job.done
     mr.jt.shutdown()

@@ -1,0 +1,278 @@
+"""repro.sweep: spec expansion, cache addressing, execution, aggregation.
+
+The cheap cells here (fig1c at TINY, fig6a) keep the worker-process and
+cache round-trip tests fast while still exercising the real experiment
+code paths.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.common import TINY, resolve_scale
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.metrics.collector import UtilizationCollector
+from repro.obs import MetricsCapture, MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.sweep import (
+    ResultCache,
+    SweepSpec,
+    aggregate_cells,
+    cell_key,
+    execute_cell,
+    flatten,
+    run_sweep,
+    summarize,
+)
+from repro.sweep import cells as cell_registry
+from repro.workloads.specs import make_job
+
+CHEAP_PARAMS = {"parts": "fig1c", "sizes_gb": 1.0}
+
+
+def cheap_spec(seeds=(1,), figures=("fig01",)):
+    return SweepSpec(
+        figures=figures, scales=("tiny",), seeds=seeds, params=CHEAP_PARAMS
+    )
+
+
+# ----------------------------------------------------------------------
+# spec + registry
+# ----------------------------------------------------------------------
+def test_spec_expands_grid_with_seeds_fastest():
+    spec = SweepSpec(
+        figures=("fig01",),
+        scales=("tiny", "small"),
+        seeds=(1, 2),
+        params={"parts": "fig1c"},
+    )
+    cells = spec.cells()
+    assert [(c.scale, c.seed) for c in cells] == [
+        ("tiny", 1),
+        ("tiny", 2),
+        ("small", 1),
+        ("small", 2),
+    ]
+    assert all(c.figure == "fig01" for c in cells)
+
+
+def test_spec_param_axis_expands_product():
+    spec = SweepSpec(
+        figures=("fig01",),
+        scales=("tiny",),
+        seeds=(7,),
+        params={"parts": "fig1c", "sizes_gb": [1.0, 2.0]},
+    )
+    sizes = [dict(c.params)["sizes_gb"] for c in spec.cells()]
+    assert sizes == [1.0, 2.0]
+
+
+def test_spec_rejects_unknown_figure_and_scale():
+    with pytest.raises(KeyError):
+        SweepSpec(figures=("fig99",))
+    with pytest.raises(KeyError):
+        SweepSpec(figures=("fig01",), scales=("galactic",))
+
+
+def test_figure_names_case_insensitive():
+    assert cell_registry.resolve("FIG8") == "fig08"
+    assert cell_registry.resolve("Fig08") == "fig08"
+    assert resolve_scale("TINY") is TINY
+
+
+def test_cell_key_stable_and_param_order_independent():
+    spec = cheap_spec()
+    config = spec.cells()[0].config()
+    key = cell_key(config)
+    assert key == cell_key(json.loads(json.dumps(config)))
+    assert len(key) == 64
+    # differing seed -> different address
+    other = dict(config, seed=config["seed"] + 1)
+    assert cell_key(other) != key
+    # version participates in the address
+    assert cell_key(config, version="0.0.0-test") != key
+
+
+# ----------------------------------------------------------------------
+# execution: inline == worker == cache, byte for byte
+# ----------------------------------------------------------------------
+def test_worker_process_matches_inline_byte_for_byte(tmp_path):
+    spec = cheap_spec(seeds=(1, 2))
+    configs = [c.config() for c in spec.cells()]
+    inline = [execute_cell(cfg) for cfg in configs]
+    report = run_sweep(spec, jobs=2, cache=ResultCache(tmp_path / "c"))
+    assert report["totals"] == dict(
+        report["totals"], cells=2, executed=2, cache_hits=0
+    )
+    for mine, theirs in zip(inline, report["cells"]):
+        for field in ("result", "metrics", "figure", "scale", "seed", "params"):
+            assert json.dumps(mine[field], sort_keys=True) == json.dumps(
+                theirs[field], sort_keys=True
+            )
+
+
+def test_second_sweep_is_full_cache_hit(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = cheap_spec(seeds=(1, 2))
+    first = run_sweep(spec, cache=cache)
+    assert first["totals"]["cache_hits"] == 0
+    second = run_sweep(spec, cache=cache)
+    assert second["totals"]["cache_hits"] == 2
+    assert second["totals"]["executed"] == 0
+    assert all(c["cache_hit"] for c in second["cells"])
+    for a, b in zip(first["cells"], second["cells"]):
+        assert json.dumps(a["result"], sort_keys=True) == json.dumps(
+            b["result"], sort_keys=True
+        )
+        assert a["key"] == b["key"]
+
+
+def test_no_cache_forces_reexecution(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = cheap_spec()
+    run_sweep(spec, cache=cache)
+    report = run_sweep(spec, cache=cache, use_cache=False)
+    assert report["totals"]["executed"] == 1
+    assert report["totals"]["cache_hits"] == 0
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = cheap_spec()
+    report = run_sweep(spec, cache=cache)
+    path = cache.path_for(report["cells"][0]["key"])
+    path.write_text("{not json", encoding="utf-8")
+    again = run_sweep(spec, cache=cache)
+    assert again["totals"]["executed"] == 1
+    # the entry was repaired
+    assert json.loads(path.read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def test_flatten_dotted_paths_skip_non_numeric():
+    flat = flatten({"a": {"b": 1, "s": "x", "flag": True}, "l": [2.0, {"c": 3}]})
+    assert flat == {"a.b": 1.0, "l.0": 2.0, "l.1.c": 3.0}
+
+
+def test_summarize_identical_values_have_zero_spread():
+    stats = summarize([4.0, 4.0, 4.0], path="t")
+    assert stats["mean"] == 4.0
+    assert stats["stdev"] == 0.0
+    assert stats["p50"] == stats["p95"] == 4.0
+    assert stats["ci95_lo"] == stats["ci95_hi"] == 4.0
+
+
+def test_summarize_is_deterministic():
+    values = [1.0, 2.0, 4.0, 8.0]
+    assert summarize(values, path="x") == summarize(values, path="x")
+    assert 1.0 <= summarize(values, path="x")["ci95_lo"] <= 8.0
+
+
+def test_aggregate_groups_across_seeds():
+    cells = [
+        {
+            "figure": "f",
+            "scale": "tiny",
+            "seed": s,
+            "params": {"k": 1},
+            "result": {"m": float(s)},
+            "metrics": {"counters": {"evt": 10 * s}},
+            "wall_s": 0.5,
+        }
+        for s in (3, 1, 2)
+    ]
+    groups = aggregate_cells(cells)
+    assert len(groups) == 1
+    g = groups[0]
+    assert g["seeds"] == [1, 2, 3]
+    assert g["metrics"]["m"]["n"] == 3
+    assert g["metrics"]["m"]["mean"] == pytest.approx(2.0)
+    assert g["obs"]["evt"]["mean"] == pytest.approx(20.0)
+
+
+# ----------------------------------------------------------------------
+# obs capture scoping (satellite: no cross-cell contamination)
+# ----------------------------------------------------------------------
+def test_metrics_capture_scopes_registries():
+    with MetricsCapture() as outer:
+        MetricsRegistry().counter("a").inc(5)
+        with MetricsCapture() as inner:
+            MetricsRegistry().counter("a").inc(7)
+        MetricsRegistry().counter("b").inc(1)
+    snap_outer = outer.combined_snapshot()
+    snap_inner = inner.combined_snapshot()
+    assert snap_inner["counters"] == {"a": 7}
+    assert snap_inner["simulators"] == 1
+    # inner cell's registries never leak into the outer capture
+    assert snap_outer["counters"] == {"a": 5, "b": 1}
+    assert snap_outer["simulators"] == 2
+
+
+def test_collectors_need_distinct_prefixes_to_share_registry():
+    sim = Simulator(seed=5)
+    registry = MetricsRegistry(lambda: sim.now)
+    cluster = Cluster.native(sim, 4)
+    first = UtilizationCollector(
+        sim, cluster, interval_s=1.0, registry=registry, prefix="a."
+    )
+    second = UtilizationCollector(
+        sim, cluster, interval_s=1.0, registry=registry, prefix="b."
+    )
+    first.start()
+    second.start()
+    sim.run(until=3.0)
+    assert registry.traces.get("a.cpu") is first.traces["cpu"]
+    assert second.traces["cpu"] is registry.traces.get("b.cpu")
+    assert registry.traces.get("a.cpu") is not registry.traces.get("b.cpu")
+    # a third collector reusing a taken prefix collides instead of
+    # silently interleaving samples into the first collector's series
+    clashing = UtilizationCollector(
+        sim, cluster, interval_s=1.0, registry=registry, prefix="a."
+    )
+    with pytest.raises(ValueError):
+        clashing.start()
+
+
+# ----------------------------------------------------------------------
+# jobtracker.on_complete (satellite: public completion API)
+# ----------------------------------------------------------------------
+def build_mr(n=4, seed=11):
+    sim = Simulator(seed=seed)
+    cluster = Cluster.native(sim, n)
+    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    return sim, mr
+
+
+def test_on_complete_fires_and_chains():
+    sim, mr = build_mr()
+    calls = []
+    job = mr.submit(
+        make_job("Sort", input_gb=0.2, num_reducers=2),
+        on_complete=lambda j: calls.append("submit"),
+    )
+    mr.jt.on_complete(job.job_id, lambda j: calls.append("first"))
+    mr.jt.on_complete(job.job_id, lambda j: calls.append("second"))
+    sim.run(until=5000.0)
+    mr.jt.shutdown()
+    assert job.done
+    assert calls == ["submit", "first", "second"]
+
+
+def test_on_complete_after_finish_fires_immediately():
+    sim, mr = build_mr()
+    job = mr.submit(make_job("Sort", input_gb=0.2, num_reducers=2))
+    sim.run(until=5000.0)
+    mr.jt.shutdown()
+    assert job.done
+    seen = []
+    mr.jt.on_complete(job.job_id, seen.append)
+    assert seen == [job]
+
+
+def test_on_complete_unknown_job_raises():
+    _, mr = build_mr()
+    with pytest.raises(KeyError):
+        mr.jt.on_complete(12345, lambda j: None)
