@@ -1,0 +1,127 @@
+"""Resilience reporting: what the faults cost, in one JSON-able object.
+
+Built from the observability registry (``fault.*`` / ``chaos.*``
+counters emitted by the failure paths and the injector) plus the
+injector's fault records, so it composes with any experiment that runs
+a :class:`~repro.chaos.injector.ChaosInjector`.  Serialization is
+canonical (sorted keys, fixed float formatting via ``json``), which is
+what makes the determinism property -- same ``(seed, schedule)`` twice
+gives byte-identical reports -- testable at the byte level.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.injector import ChaosInjector
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregate resilience metrics for one chaos run."""
+
+    elapsed_s: float
+    n_nodes: int
+    #: fraction of node-seconds the cluster's workers were up
+    availability: float
+    faults_injected: int
+    faults_skipped: int
+    faults_healed: int
+    #: per-injected-fault timeline entries (kind, target, recovery_s...)
+    faults: List[dict] = field(default_factory=list)
+    #: ratio of fault-free makespan to faulted makespan (<= 1.0 when
+    #: faults slow the run down; None when no baseline was measured)
+    goodput_vs_baseline: Optional[float] = None
+    sla_violations: int = 0
+    #: map outputs lost to node failures and re-executed
+    reexecuted_maps: int = 0
+    #: running attempts killed by node failures
+    attempts_lost: int = 0
+    node_failures: int = 0
+    node_repairs: int = 0
+    shuffle_fetches_cancelled: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "elapsed_s": self.elapsed_s,
+            "n_nodes": self.n_nodes,
+            "availability": self.availability,
+            "faults_injected": self.faults_injected,
+            "faults_skipped": self.faults_skipped,
+            "faults_healed": self.faults_healed,
+            "faults": self.faults,
+            "goodput_vs_baseline": self.goodput_vs_baseline,
+            "sla_violations": self.sla_violations,
+            "reexecuted_maps": self.reexecuted_maps,
+            "attempts_lost": self.attempts_lost,
+            "node_failures": self.node_failures,
+            "node_repairs": self.node_repairs,
+            "shuffle_fetches_cancelled": self.shuffle_fetches_cancelled,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical serialization (byte-identical across equal runs)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def build_report(
+    sim: Simulator,
+    injector: ChaosInjector,
+    elapsed_s: float,
+    baseline_makespan: Optional[float] = None,
+    makespan: Optional[float] = None,
+) -> ResilienceReport:
+    """Assemble a :class:`ResilienceReport` after a chaos run.
+
+    ``elapsed_s`` is the run's wall (simulated) length -- unhealed
+    crashes count as down until then.  ``baseline_makespan`` is the
+    fault-free makespan of the same workload (same seed, empty
+    schedule); when given together with the faulted ``makespan`` it
+    yields the goodput ratio.
+    """
+    if elapsed_s <= 0:
+        raise ValueError("elapsed_s must be positive")
+    counters = sim.obs.metrics.counters()
+
+    def counter(name: str) -> float:
+        return counters.get(name, 0.0)
+
+    n_nodes = len(injector._contexts)
+    downtime = 0.0
+    for record in injector.injected:
+        if record.spec.kind not in ("node_crash", "rack_crash"):
+            continue
+        end = record.healed_at if record.healed_at is not None else elapsed_s
+        per_node = max(0.0, end - record.injected_at)
+        # rack crashes take down every worker on the machine
+        width = (
+            1
+            if record.spec.kind == "node_crash"
+            else sum(1 for c in injector._contexts if c.pm.name == record.target)
+        )
+        downtime += per_node * width
+    availability = max(0.0, 1.0 - downtime / (n_nodes * elapsed_s))
+    goodput = None
+    if baseline_makespan is not None and makespan is not None and makespan > 0:
+        goodput = baseline_makespan / makespan
+    return ResilienceReport(
+        elapsed_s=elapsed_s,
+        n_nodes=n_nodes,
+        availability=availability,
+        faults_injected=len(injector.injected),
+        faults_skipped=len(injector.skipped),
+        faults_healed=int(counter("chaos.faults.healed")),
+        faults=[r.to_dict() for r in injector.records],
+        goodput_vs_baseline=goodput,
+        sla_violations=int(counter("sla.violations")),
+        reexecuted_maps=int(counter("fault.map_outputs_lost")),
+        attempts_lost=int(counter("fault.attempts_lost")),
+        node_failures=int(counter("fault.node_failures")),
+        node_repairs=int(counter("fault.node_repairs")),
+        shuffle_fetches_cancelled=int(
+            counter("fault.shuffle_fetches_cancelled")
+        ),
+    )

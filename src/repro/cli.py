@@ -394,6 +394,49 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.experiments.fig08_faults import run as run_faults
+
+    if args.figure != "fig08":
+        print(f"unknown chaos figure {args.figure!r}; only 'fig08' exists",
+              file=sys.stderr)
+        return 2
+    result = run_faults(
+        scale=_scale(args.scale),
+        seed=args.seed,
+        faults=args.faults,
+        mttr=args.mttr,
+        severity=args.severity,
+        deployments=args.deployments,
+        waves=args.waves,
+    )
+    rows = []
+    for kind in args.deployments:
+        entry = result[kind]
+        report = entry.get("report", {})
+        rows.append([
+            kind,
+            round(entry["baseline_makespan_s"], 1),
+            round(entry["faulted_makespan_s"], 1),
+            round(entry["slowdown_pct"], 1),
+            report.get("faults_injected", 0),
+            round(report.get("availability", 1.0), 4),
+        ])
+    print(format_table(
+        ["deployment", "baseline_s", "faulted_s", "slowdown_%",
+         "faults", "availability"],
+        rows,
+        title=f"completion time under faults ({args.faults})",
+    ))
+    print(f"total faults injected: {result['total_faults_injected']}")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.core.profiling import JobProfiler
 
@@ -485,6 +528,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default="BENCH_sweep.json",
                        help="aggregated report path")
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an experiment under injected faults; write a resilience report",
+        description="Run the fig08-under-faults cell: the paper benchmarks "
+        "on each deployment, fault-free and under a seeded Poisson fault "
+        "schedule, reporting availability, recovery times and goodput vs "
+        "the fault-free baseline.",
+    )
+    chaos.add_argument("--figure", default="fig08",
+                       help="experiment to run under faults (only fig08)")
+    chaos.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
+                       default="tiny")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--faults", default="poisson:node=0.01",
+                       metavar="SPEC",
+                       help="'none' or 'poisson:<kind>=<rate>,...' with kinds "
+                       "node|rack|disk|nic|cpu|straggler|partition")
+    chaos.add_argument("--mttr", type=float, default=45.0,
+                       help="mean time-to-repair in seconds")
+    chaos.add_argument("--severity", type=float, default=0.5,
+                       help="capacity fraction removed by degradation faults")
+    chaos.add_argument("--deployments", nargs="+",
+                       choices=("native", "virtual", "hybrid"),
+                       default=["native", "virtual", "hybrid"])
+    chaos.add_argument("--waves", type=int, default=2,
+                       help="rounds of the benchmark suite per run")
+    chaos.add_argument("--out", default="chaos_report.json",
+                       help="resilience report path (JSON)")
+    chaos.set_defaults(func=cmd_chaos)
 
     prof = sub.add_parser("profile", help="train the Phase I profiler")
     prof.add_argument("benchmark")

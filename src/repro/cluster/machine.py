@@ -48,6 +48,12 @@ class ExecutionContext:
         #: per-entry sustained-I/O penalties, so refreshes can recompute
         #: absolute efficiencies instead of ratcheting them down
         self._disk_penalties: dict = {}
+        #: transient fault-injection multipliers in (0, 1]: CPU steal
+        #: (noisy neighbour / hypervisor contention) and a degraded disk
+        #: (remapped sectors, failing controller).  Applied on top of the
+        #: virtualization efficiency model; 1.0 means healthy.
+        self.degrade_cpu_factor = 1.0
+        self.degrade_disk_factor = 1.0
 
     # -- identity -------------------------------------------------------
     @property
@@ -116,6 +122,23 @@ class ExecutionContext:
     def mem_available_mb(self) -> float:
         return max(0.0, self.mem_capacity_mb - self.mem_used_mb)
 
+    # -- transient degradation (fault injection) --------------------------
+    def set_degradation(self, cpu: float = 1.0, disk: float = 1.0) -> None:
+        """Degrade this context's CPU/disk to the given capacity factors.
+
+        In-flight work slows down immediately (same refresh discipline
+        as memory pressure); passing 1.0 restores full health.
+        """
+        if not 0.0 < cpu <= 1.0 or not 0.0 < disk <= 1.0:
+            raise ValueError("degradation factors must be in (0, 1]")
+        self.degrade_cpu_factor = cpu
+        self.degrade_disk_factor = disk
+        self.refresh_entries()
+
+    @property
+    def degraded(self) -> bool:
+        return self.degrade_cpu_factor < 1.0 or self.degrade_disk_factor < 1.0
+
     # -- running work -----------------------------------------------------
     def run_cpu(
         self,
@@ -171,7 +194,9 @@ class ExecutionContext:
             if not entry.done:
                 self._memio_entries.append(entry)
             return entry
-        eff = max(0.05, self.disk_efficiency() - efficiency_penalty)
+        eff = max(
+            0.05, self.disk_efficiency() * self.degrade_disk_factor - efficiency_penalty
+        )
         entry = self._pm.disk_pool.add(
             mb,
             on_complete=self._wrap_done(self._disk_entries, on_complete),
@@ -186,7 +211,12 @@ class ExecutionContext:
         return entry
 
     def _combined_cpu_eff(self) -> float:
-        return max(0.05, self.cpu_efficiency() * self.memory_pressure_factor())
+        return max(
+            0.05,
+            self.cpu_efficiency()
+            * self.memory_pressure_factor()
+            * self.degrade_cpu_factor,
+        )
 
     def _wrap_done(
         self,
@@ -212,7 +242,7 @@ class ExecutionContext:
         cpu_eff = self._combined_cpu_eff()
         for entry in self._cpu_entries:
             entry.set_efficiency(cpu_eff)
-        base_eff = self.disk_efficiency()
+        base_eff = self.disk_efficiency() * self.degrade_disk_factor
         for entry in self._disk_entries:
             penalty = self._disk_penalties.get(id(entry), 0.0)
             entry.set_efficiency(max(0.05, base_eff - penalty))

@@ -1,0 +1,150 @@
+"""Figure 8 under faults: completion time with failures injected.
+
+The paper's evaluation assumes cooperative infrastructure; this cell
+asks how the three deployments (native Hadoop, fully virtualized, and
+the hybrid data center HybridMR targets) degrade when nodes crash and
+recover mid-run.  For each deployment the same multi-wave benchmark
+workload runs twice -- fault-free, then under a seeded Poisson fault
+schedule -- and a :class:`~repro.chaos.report.ResilienceReport` captures
+availability, per-fault recovery time and the goodput ratio against the
+fault-free baseline.
+
+Everything is a pure function of ``(scale, seed, params)``: the fault
+timeline comes from :func:`repro.chaos.faults.poisson_schedule`, so the
+cell composes with the sweep layer (``repro sweep chaos --seeds ...``)
+and chaos parameters (``faults``, ``mttr``, ``severity``) sweep like any
+other cell parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos import ChaosInjector, FaultSchedule, build_report, parse_faults
+from repro.cluster.cluster import Cluster
+from repro.experiments.common import (
+    SMALL,
+    Scale,
+    as_tuple,
+    mean,
+    pct_increase,
+    resolve_scale,
+)
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.sim.engine import Simulator
+from repro.workloads.specs import ALL_BENCHMARKS, make_job
+
+DEPLOYMENTS = ("native", "virtual", "hybrid")
+
+
+def _build(kind: str, sim: Simulator, scale: Scale) -> Tuple[Cluster, list]:
+    if kind == "native":
+        cluster = Cluster.native(sim, scale.pms)
+        return cluster, cluster.native_contexts()
+    if kind == "virtual":
+        cluster = Cluster.virtual(sim, scale.pms, scale.vms_per_pm)
+        return cluster, list(cluster.vms)
+    if kind == "hybrid":
+        native_pms = scale.pms // 2
+        cluster = Cluster.hybrid(
+            sim, native_pms, scale.pms - native_pms, scale.vms_per_pm
+        )
+        return cluster, cluster.all_contexts()
+    raise ValueError(f"unknown deployment {kind!r}; choose from {DEPLOYMENTS}")
+
+
+def _workload(scale: Scale, waves: int, n_reducers: int) -> List:
+    """``waves`` back-to-back rounds of every paper benchmark.
+
+    Multiple waves stretch the run past the first fault arrivals of
+    low-rate schedules (a single tiny-scale wave finishes in minutes of
+    simulated time, before an MTBF of hours would ever fire).
+    """
+    return [
+        make_job(
+            bench.name,
+            input_gb=scale.input_gb(bench.name),
+            num_reducers=n_reducers,
+            name=f"{bench.name.lower()}#{wave}",
+        )
+        for wave in range(waves)
+        for bench in ALL_BENCHMARKS
+    ]
+
+
+def _run_deployment(
+    kind: str,
+    scale: Scale,
+    seed: int,
+    waves: int,
+    schedule: Optional[FaultSchedule],
+):
+    """One workload run; returns (makespan, mean_jct, injector or None)."""
+    sim = Simulator(seed=seed)
+    cluster, contexts = _build(kind, sim, scale)
+    mr = MapReduceCluster(sim, cluster.fabric, contexts)
+    injector = None
+    if schedule is not None and len(schedule):
+        injector = ChaosInjector(sim, mr, schedule)
+        injector.start()
+    jobs = mr.run_jobs(_workload(scale, waves, len(contexts)))
+    makespan = max(job.finish_time for job in jobs)
+    return sim, makespan, mean([job.jct for job in jobs]), injector
+
+
+def run(
+    scale: Scale = SMALL,
+    seed: int = 7,
+    faults: str = "poisson:node=0.01",
+    mttr: float = 45.0,
+    severity: float = 0.5,
+    deployments: Sequence[str] = DEPLOYMENTS,
+    waves: int = 2,
+    horizon: Optional[float] = None,
+) -> Dict[str, object]:
+    """Sweep cell: per-deployment completion times with and without faults.
+
+    ``faults`` uses the :func:`~repro.chaos.faults.parse_faults` grammar
+    (``none`` or ``poisson:<kind>=<rate>,...``).  ``horizon`` bounds the
+    fault timeline; the default covers three fault-free makespans, so
+    faults keep arriving however badly the faulted run is slowed down.
+    """
+    scale = resolve_scale(scale)
+    deployments = as_tuple(deployments)
+    out: Dict[str, object] = {"faults": faults, "mttr": mttr, "severity": severity}
+    total_injected = 0
+    for kind in deployments:
+        _, base_makespan, base_jct, _ = _run_deployment(
+            kind, scale, seed, waves, None
+        )
+        schedule = parse_faults(
+            faults,
+            seed=seed,
+            horizon=horizon if horizon is not None else 3.0 * base_makespan,
+            mttr=mttr,
+            severity=severity,
+        )
+        sim, makespan, jct, injector = _run_deployment(
+            kind, scale, seed, waves, schedule
+        )
+        entry: Dict[str, object] = {
+            "baseline_makespan_s": base_makespan,
+            "faulted_makespan_s": makespan,
+            "slowdown_pct": pct_increase(makespan, base_makespan),
+            "baseline_mean_jct_s": base_jct,
+            "faulted_mean_jct_s": jct,
+            "schedule": schedule.to_dict(),
+        }
+        if injector is not None:
+            report = build_report(
+                sim,
+                injector,
+                elapsed_s=makespan,
+                baseline_makespan=base_makespan,
+                makespan=makespan,
+            )
+            entry["report"] = report.to_dict()
+            total_injected += report.faults_injected
+        out[kind] = entry
+    out["total_faults_injected"] = total_injected
+    return out

@@ -193,7 +193,12 @@ class HDFS:
                 on_complete()
                 return
             for target in targets:
-                self.namenode.record_replica(block, target.name)
+                # a target decommissioned mid-pipeline (node crash while
+                # writing) yields no replica; its copy died with the node
+                if self.namenode.datanodes.get(target.name) is target:
+                    self.namenode.record_replica(block, target.name)
+                elif target.holds(block):
+                    target.drop(block)
             on_complete()
 
         chain(stages, record)
@@ -264,10 +269,18 @@ class HDFS:
     ) -> None:
         def after_read() -> None:
             def after_flow() -> None:
-                target.write_block(block, lambda: (
-                    self.namenode.record_replica(block, target.name),
-                    on_complete(),
-                )[-1])
+                def record() -> None:
+                    # same decommission race as the write pipeline: only
+                    # record the replica if the target is still alive
+                    if (
+                        self.namenode.datanodes.get(target.name) is target
+                        and block.block_id in self.namenode.replicas
+                        and target.name not in self.namenode.replicas[block.block_id]
+                    ):
+                        self.namenode.record_replica(block, target.name)
+                    on_complete()
+
+                target.write_block(block, record)
 
             if source.host == target.host:
                 after_flow()

@@ -86,6 +86,10 @@ class MapReduceCluster:
             speculation=speculation,
             **jt_kwargs,
         )
+        #: contexts whose DataNode was decommissioned by :meth:`fail_node`
+        #: and not yet re-registered by :meth:`repair_node`
+        self._failed_datanode_contexts: List[ExecutionContext] = []
+        self._rejoin_counts: dict = {}
 
     # ------------------------------------------------------------------
     # convenience entry points used by experiments and examples
@@ -107,7 +111,30 @@ class MapReduceCluster:
         datanode = self.fs.datanode_on_context(context)
         if datanode is not None:
             self.fs.namenode.decommission_datanode(datanode.name)
+            self._failed_datanode_contexts.append(context)
+            self.sim.obs.metrics.counter("fault.datanodes_lost").inc()
             if recover_hdfs:
+                self.fs.re_replicate(lambda: None)
+
+    def repair_node(self, context: ExecutionContext, rebalance_hdfs: bool = True) -> None:
+        """Bring a crashed worker back into the cluster.
+
+        The node rejoins with empty local disks (a crash loses the
+        machine's storage): its TaskTracker re-registers with the
+        JobTracker and, if the node ran a DataNode before the crash, a
+        fresh one is registered and the NameNode rebalances replicas
+        onto it.  Idempotent for nodes that are already alive."""
+        self.jt.handle_node_repair(context)
+        if context in self._failed_datanode_contexts:
+            self._failed_datanode_contexts.remove(context)
+            # a fresh name per rejoin: replica records naming the dead
+            # incarnation must never resolve to the new (empty) one
+            n = self._rejoin_counts[context.name] = (
+                self._rejoin_counts.get(context.name, 0) + 1
+            )
+            self.fs.add_datanode(context, name=f"dn-{context.name}-r{n}")
+            self.sim.obs.metrics.counter("fault.datanodes_rejoined").inc()
+            if rebalance_hdfs:
                 self.fs.re_replicate(lambda: None)
 
     def run_job(self, spec: JobSpec, timeout_s: float = 1e7) -> Job:

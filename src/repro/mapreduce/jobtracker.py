@@ -403,21 +403,72 @@ class JobTracker:
             # storage-only node (split architecture): no tasks or map
             # outputs live here; HDFS recovery is the caller's job
             return
+        obs = self.sim.obs
+        obs.metrics.counter("fault.node_failures").inc()
+        attempts_lost = 0
         for tracker in dead_trackers:
             tracker.alive = False
             for attempt in list(tracker.running):
+                attempts_lost += 1
                 attempt.kill()
         lost_host = context.host
+        maps_lost = 0
+        fetches_cancelled = 0
         for job in list(self.active_jobs):
-            self._reexecute_lost_maps(job, context, lost_host)
+            maps_lost += self._reexecute_lost_maps(job, context, lost_host)
+            # abort in-flight shuffle fetches sourced from the dead host
+            # (after the lost-map bookkeeping above, so re-opened maps
+            # keep the reducers' shuffle phases from ending early)
+            for reduce_task in job.reduce_tasks:
+                for attempt in reduce_task.running_attempts:
+                    fetches_cancelled += attempt.cancel_fetches_from(lost_host)
+        obs.metrics.counter("fault.attempts_lost").inc(attempts_lost)
+        obs.metrics.counter("fault.map_outputs_lost").inc(maps_lost)
+        obs.metrics.counter("fault.shuffle_fetches_cancelled").inc(fetches_cancelled)
+        if obs.tracer.enabled:
+            obs.tracer.instant(
+                f"node.failed:{lost_host}",
+                category="fault",
+                track="chaos",
+                host=lost_host,
+                attempts_lost=attempts_lost,
+                map_outputs_lost=maps_lost,
+                shuffle_fetches_cancelled=fetches_cancelled,
+            )
         self.request_dispatch()
 
-    def _reexecute_lost_maps(self, job: Job, context, lost_host: str) -> None:
-        """Re-open completed maps whose output lived on the dead node."""
+    def handle_node_repair(self, context) -> None:
+        """A crashed worker node came back: its trackers accept work
+        again (fresh, empty -- in-flight state died with the node).
+        HDFS re-registration is the caller's job, as with failure."""
+        revived = [
+            t for t in self.trackers if t.context is context and not t.alive
+        ]
+        if not revived:
+            return
+        for tracker in revived:
+            tracker.alive = True
+        obs = self.sim.obs
+        obs.metrics.counter("fault.node_repairs").inc()
+        if obs.tracer.enabled:
+            obs.tracer.instant(
+                f"node.repaired:{context.host}",
+                category="fault",
+                track="chaos",
+                host=context.host,
+            )
+        self.request_dispatch()
+
+    def _reexecute_lost_maps(self, job: Job, context, lost_host: str) -> int:
+        """Re-open completed maps whose output lived on the dead node.
+
+        Returns the number of map tasks sent back for re-execution.
+        """
         reducers_unfinished = any(not t.completed for t in job.reduce_tasks)
         if not reducers_unfinished:
-            return
+            return 0
         n_reduces = max(1, len(job.reduce_tasks))
+        reopened = 0
         for task in job.map_tasks:
             winner = task.winning_attempt
             if not task.completed or winner is None:
@@ -427,6 +478,7 @@ class JobTracker:
             per_reduce_mb = (
                 task.block.size_mb * job.spec.profile.map_selectivity / n_reduces
             )
+            reopened += 1
             task.completed = False
             task.completed_at = None
             task.winning_attempt = None
@@ -443,6 +495,7 @@ class JobTracker:
                     attempt.notify_map_lost(lost_host, per_reduce_mb)
             if job.maps_done_time is not None:
                 job.maps_done_time = None
+        return reopened
 
     # ------------------------------------------------------------------
     # speculative execution

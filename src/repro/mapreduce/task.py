@@ -460,6 +460,37 @@ class TaskAttempt:
         self._active_fetches -= 1
         self._pump_fetches()
 
+    def cancel_fetches_from(self, host: str) -> int:
+        """Abort in-flight shuffle fetches sourced from a dead ``host``.
+
+        The map outputs behind those flows are gone; without this the
+        flows keep consuming simulated NIC bandwidth until they drain
+        and then deliver bytes that no longer exist.  The JobTracker's
+        lost-map bookkeeping (``notify_map_lost``) re-opens the maps, so
+        the re-announced output is fetched again later.  Returns the
+        number of flows cancelled.
+        """
+        if (
+            not self.running
+            or self.task.kind is not TaskKind.REDUCE
+            or self._fetch_phase_over
+        ):
+            return 0
+        from repro.sim.network import Flow
+
+        doomed = [
+            h
+            for h in self._handles
+            if isinstance(h, Flow) and not h.done and h.src == host
+        ]
+        for flow in doomed:
+            self.jt.fabric.cancel_flow(flow)
+            self._handles.remove(flow)
+            self._active_fetches -= 1
+        if doomed:
+            self._pump_fetches()
+        return len(doomed)
+
     def _maybe_end_shuffle(self) -> None:
         if (
             self._maps_pending == 0

@@ -16,7 +16,7 @@ which is what makes the paper's Same-Host configuration beat Cross-Host
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.sim.engine import Event, Simulator
 
@@ -75,13 +75,16 @@ class Flow:
 
 
 class _HostLinks:
-    __slots__ = ("up", "down", "loopback", "group")
+    __slots__ = ("up", "down", "loopback", "group", "nic_scale")
 
     def __init__(self, up: float, down: float, loopback: float, group: str) -> None:
         self.up = up
         self.down = down
         self.loopback = loopback
         self.group = group
+        #: transient capacity multiplier in (0, 1] -- a degraded NIC
+        #: (fault injection) rate-caps every flow crossing this host
+        self.nic_scale = 1.0
 
 
 def maxmin_flow_rates(
@@ -100,9 +103,12 @@ def maxmin_flow_rates(
     cap: Dict[tuple, float] = {}
     users: Dict[tuple, List[int]] = {}
     for i, flow in enumerate(flows):
+        src_links, dst_links = links[flow.src], links[flow.dst]
+        src_scale = getattr(src_links, "nic_scale", 1.0)
+        dst_scale = getattr(dst_links, "nic_scale", 1.0)
         for key, capacity in (
-            ((flow.src, "up"), links[flow.src].up),
-            ((flow.dst, "down"), links[flow.dst].down),
+            ((flow.src, "up"), src_links.up * src_scale),
+            ((flow.dst, "down"), dst_links.down * dst_scale),
         ):
             cap.setdefault(key, capacity)
             users.setdefault(key, []).append(i)
@@ -144,6 +150,10 @@ class NetworkFabric:
         self._completion_event: Optional[Event] = None
         self.bytes_transferred_mb = 0.0
         self.cross_host_mb = 0.0
+        #: active network partition: a cut between two host sets.  Flows
+        #: crossing the cut stall at rate 0 (TCP keeps retrying) until
+        #: :meth:`heal_partition`; loopback flows are never cut.
+        self._partition: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
 
     def register_host(
         self,
@@ -176,6 +186,72 @@ class NetworkFabric:
 
     def colocated(self, a: str, b: str) -> bool:
         return a == b or self._links[a].group == self._links[b].group
+
+    # ------------------------------------------------------------------
+    # fault injection surface (repro.chaos)
+    # ------------------------------------------------------------------
+    def set_nic_scale(self, host: str, scale: float) -> None:
+        """Degrade (or restore) a host's NIC to ``scale`` of capacity.
+
+        Models a flapping/renegotiated link: every flow crossing the
+        host's uplink or downlink is rate-capped proportionally.  Use
+        ``scale=1.0`` to heal; full blocks go through :meth:`partition`.
+        """
+        if host not in self._links:
+            raise KeyError(f"unknown host {host!r}")
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("nic scale must be in (0, 1]")
+        self._advance()
+        self._links[host].nic_scale = scale
+        self.sim.obs.metrics.gauge(f"net.nic_scale.{host}").set(scale)
+        self._rebalance()
+
+    def nic_scale(self, host: str) -> float:
+        return self._links[host].nic_scale
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Cut the network between two host sets.
+
+        Cross-cut flows stall at rate 0 but stay queued -- they resume
+        where they left off on :meth:`heal_partition`, like TCP
+        connections riding out a switch outage.  Only one partition can
+        be active at a time (chaos schedules serialize them).
+        """
+        a, b = frozenset(side_a), frozenset(side_b)
+        if a & b:
+            raise ValueError(f"partition sides overlap: {sorted(a & b)}")
+        for host in a | b:
+            if host not in self._links:
+                raise KeyError(f"unknown host {host!r}")
+        if self._partition is not None:
+            raise RuntimeError("a partition is already active")
+        self._advance()
+        self._partition = (a, b)
+        self.sim.obs.metrics.counter("net.partitions").inc()
+        self._rebalance()
+
+    def heal_partition(self) -> None:
+        """Remove the active partition (no-op when none is active)."""
+        if self._partition is None:
+            return
+        self._advance()
+        self._partition = None
+        self._rebalance()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        """True when the active partition separates ``src`` and ``dst``."""
+        if self._partition is None or self.colocated(src, dst):
+            return False
+        a, b = self._partition
+        return (src in a and dst in b) or (src in b and dst in a)
+
+    def flows_from(self, host: str) -> List[Flow]:
+        """Live cross-host flows whose source endpoint is ``host``."""
+        return [f for f in self._flows if f.src == host]
 
     def start_flow(
         self,
@@ -282,9 +358,19 @@ class NetworkFabric:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        rates = maxmin_flow_rates(self._flows, self._links)
+        if self._partition is not None:
+            # flows crossing the cut stall; the rest share the links
+            live = []
+            for flow in self._flows:
+                if self.is_blocked(flow.src, flow.dst):
+                    flow.rate = 0.0
+                else:
+                    live.append(flow)
+        else:
+            live = self._flows
+        rates = maxmin_flow_rates(live, self._links)
         next_eta = math.inf
-        for flow, rate in zip(self._flows, rates):
+        for flow, rate in zip(live, rates):
             flow.rate = rate
             next_eta = min(next_eta, flow.eta())
         # loopback flows share the per-host loopback channel equally

@@ -14,6 +14,7 @@ each group's ``obs`` key.
 
 from __future__ import annotations
 
+import json
 import random
 from typing import Dict, List, Optional, Sequence
 
@@ -85,7 +86,9 @@ def summarize(values: Sequence[float], path: str = "") -> Dict[str, float]:
 
 
 def _group_key(cell: dict) -> tuple:
-    params = tuple(sorted(cell.get("params", {}).items(), key=lambda kv: kv[0]))
+    # canonical JSON keeps list/dict-valued params (e.g. a cell's
+    # ``deployments`` list) hashable and order-insensitive
+    params = json.dumps(cell.get("params", {}), sort_keys=True)
     return (cell["figure"], cell["scale"], params)
 
 
@@ -115,12 +118,12 @@ def aggregate_cells(cells: Sequence[dict]) -> List[dict]:
             obs = cell.get("metrics") or {}
             for name, value in (obs.get("counters") or {}).items():
                 counters.setdefault(name, []).append(value)
-        figure, scale, params = key
+        figure, scale, params_json = key
         out.append(
             {
                 "figure": figure,
                 "scale": scale,
-                "params": dict(params),
+                "params": json.loads(params_json),
                 "seeds": [c["seed"] for c in members],
                 "wall_s": summarize(
                     [c["wall_s"] for c in members], f"{figure}:wall_s"

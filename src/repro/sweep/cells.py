@@ -26,12 +26,14 @@ _CELL_MODULES: Dict[str, str] = {
     "fig10": "repro.experiments.fig10_migration",
     "fig11": "repro.experiments.fig11_tradeoff",
     "headline": "repro.experiments.headline",
+    "chaos": "repro.experiments.fig08_faults",
 }
 
 #: convenience aliases (sub-figure spellings, bare numbers)
 _ALIASES: Dict[str, str] = {
     "fig1": "fig01", "fig2": "fig02", "fig5": "fig05", "fig6": "fig06",
     "fig8": "fig08", "fig9": "fig09",
+    "fig08-faults": "chaos", "fig08_faults": "chaos", "faults": "chaos",
 }
 
 

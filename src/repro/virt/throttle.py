@@ -42,6 +42,20 @@ class CgroupController:
         vm.set_io_limit(mbps)
         self.log.append(ActuationEvent(self.sim.now, vm.name, "io", mbps))
 
+    def set_degradation(
+        self, context, cpu: float = 1.0, disk: float = 1.0
+    ) -> None:
+        """Degrade any execution context's CPU/disk capacity factors.
+
+        The chaos injector routes transient faults (CPU steal, failing
+        disks) through here so they land in the same audit log as the
+        Phase II actuations; accepts native contexts as well as VMs.
+        """
+        context.set_degradation(cpu=cpu, disk=disk)
+        self.log.append(
+            ActuationEvent(self.sim.now, context.name, "degrade", min(cpu, disk))
+        )
+
     def pause(self, vm: VirtualMachine) -> None:
         vm.pause()
         self.log.append(ActuationEvent(self.sim.now, vm.name, "pause", None))

@@ -138,7 +138,7 @@ class VirtualMachine(ExecutionContext):
         self._requested_caps = {
             k: v for k, v in self._requested_caps.items() if k in live
         }
-        cpu_eff = max(0.05, self.cpu_efficiency() * self.memory_pressure_factor())
+        cpu_eff = self._combined_cpu_eff()
         n_cpu = max(1, len(self._cpu_entries))
         cpu_share = self.spec.cpu_cores * self.cpu_fraction / n_cpu
         for entry in self._cpu_entries:
@@ -146,7 +146,7 @@ class VirtualMachine(ExecutionContext):
             entry.set_cap(0.0 if self.paused else min(requested, max(cpu_share, 1e-6)))
             entry.set_weight(self.vm_weight / n_cpu)
             entry.set_efficiency(cpu_eff)
-        base_disk_eff = self.disk_efficiency()
+        base_disk_eff = self.disk_efficiency() * self.degrade_disk_factor
         live_disk = {id(e) for e in self._disk_entries}
         self._disk_penalties = {
             k: v for k, v in self._disk_penalties.items() if k in live_disk

@@ -8,10 +8,12 @@ from repro.sim.engine import Simulator
 from repro.workloads.specs import make_job
 
 
-def build(n=6, seed=9):
+def build(n=6, seed=9, **jt_kwargs):
     sim = Simulator(seed=seed)
     cluster = Cluster.native(sim, n)
-    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    mr = MapReduceCluster(
+        sim, cluster.fabric, cluster.native_contexts(), **jt_kwargs
+    )
     return sim, cluster, mr
 
 
@@ -112,6 +114,83 @@ def test_storage_only_failure_in_split_architecture():
     sim.run(until=5000.0)
     assert job.done
     mr.jt.shutdown()
+
+
+def test_original_attempt_survives_speculative_node_failure():
+    """Killing the node that hosts the winning speculative copy must let
+    the original attempt finish the task (no orphaned task state)."""
+    sim, cluster, mr = build(
+        seed=11, straggler_prob=0.5, speculation_factor=1.2,
+        speculation_interval=5.0,
+    )
+    job = mr.submit(make_job("Sort", input_gb=1.0, num_reducers=4))
+    state = {}
+
+    def hunt():
+        if job.done or "original" in state:
+            return
+        for task in job.map_tasks + job.reduce_tasks:
+            running = task.running_attempts
+            if len(running) < 2:
+                continue
+            original, speculative = running[0], running[-1]
+            if speculative.tracker.context is original.tracker.context:
+                continue
+            state["task"] = task
+            state["original"] = original
+            # freeze further speculation so the surviving original is
+            # the only candidate left for this task
+            mr.jt._spec_cancel()
+            mr.fail_node(speculative.tracker.context)
+            return
+        sim.schedule(0.5, hunt)
+
+    sim.schedule(0.5, hunt)
+    run_to_completion(sim, mr, job, timeout=20000.0)
+    assert job.done
+    assert "original" in state, "no speculative attempt ever launched"
+    task = state["task"]
+    assert task.completed
+    assert task.winning_attempt is state["original"]
+
+
+def test_node_failure_cancels_inflight_shuffle_fetches():
+    """Shuffle flows sourced from a dead node are torn down, and the
+    reducer re-fetches from the re-executed map instead of hanging."""
+    from repro.sim.network import Flow
+
+    sim, cluster, mr = build()
+    job = mr.submit(make_job("Sort", input_gb=1.0, num_reducers=4))
+    state = {}
+
+    def hunt():
+        if job.done or "host" in state:
+            return
+        for task in job.reduce_tasks:
+            for attempt in task.running_attempts:
+                for handle in attempt._handles:
+                    if not isinstance(handle, Flow) or handle.done:
+                        continue
+                    victim = next(
+                        (c for c in cluster.native_contexts()
+                         if c.host == handle.src), None,
+                    )
+                    if victim is None or victim is attempt.tracker.context:
+                        continue
+                    state["host"] = handle.src
+                    mr.fail_node(victim)
+                    # the dead host's flows are gone immediately
+                    assert not mr.fabric.flows_from(state["host"])
+                    return
+        sim.schedule(0.2, hunt)
+
+    sim.schedule(0.2, hunt)
+    run_to_completion(sim, mr, job, timeout=20000.0)
+    assert job.done
+    assert "host" in state, "never caught an in-flight shuffle fetch"
+    counters = sim.obs.metrics.counters()
+    assert counters.get("fault.shuffle_fetches_cancelled", 0) >= 1
+    assert counters.get("net.flows.cancelled", 0) >= 1
 
 
 def test_failure_of_unknown_context_is_storage_only_noop():
