@@ -141,7 +141,20 @@ class ChaosInjector:
     def _heal(self, record: FaultRecord, undo) -> None:
         undo()
         record.healed_at = self.sim.now
-        self.sim.obs.metrics.counter("chaos.faults.healed").inc()
+        obs = self.sim.obs
+        obs.metrics.counter("chaos.faults.healed").inc()
+        if obs.tracer.enabled:
+            # closes the causal fault window opened by the injection
+            # instant; critpath pairs the two by kind+target
+            obs.tracer.instant(
+                f"chaos.heal.{record.spec.kind}:{record.target}",
+                category="fault",
+                track="chaos",
+                kind=record.spec.kind,
+                target=record.target,
+                injected_at=record.injected_at,
+                recovery_s=record.recovery_s,
+            )
 
     def _schedule_heal(self, record: FaultRecord, undo) -> None:
         if record.spec.duration > 0:

@@ -255,7 +255,7 @@ def cmd_run(args) -> int:
     from repro.workloads.specs import make_job
 
     sim = Simulator(seed=args.seed)
-    if args.trace or args.events_out or args.metrics_out:
+    if args.trace or args.events_out or args.metrics_out or args.blame_out:
         sim.obs.enable_tracing()
     if args.cluster == "native":
         cluster = Cluster.native(sim, args.pms)
@@ -291,6 +291,18 @@ def cmd_run(args) -> int:
             sim, args.trace, args.events_out, args.metrics_out
         ):
             print(f"  wrote        {path}")
+    if args.blame_out:
+        from repro.obs.critpath import (
+            blame_from_obs,
+            format_blame,
+            write_blame_json,
+        )
+
+        report = blame_from_obs(sim.obs)
+        print()
+        print(format_blame(report))
+        write_blame_json(args.blame_out, report)
+        print(f"  wrote        {args.blame_out}")
     return 0
 
 
@@ -305,10 +317,34 @@ def cmd_trace(args) -> int:
     if args.file.endswith(".jsonl"):
         events = read_jsonl(args.file)
         print(summarize_events(events))
+        if args.top:
+            from repro.obs.export import top_spans
+
+            print()
+            print(top_spans(events, args.top))
+        blame_report = None
+        if args.blame or args.blame_out:
+            from repro.obs.critpath import (
+                build_blame,
+                format_blame,
+                write_blame_json,
+            )
+
+            blame_report = build_blame(events)
+            if args.blame:
+                print()
+                print(format_blame(blame_report))
+            if args.blame_out:
+                write_blame_json(args.blame_out, blame_report)
+                print(f"wrote {args.blame_out}")
         if args.chrome:
             import json
 
             doc = chrome_trace(events)
+            if blame_report is not None:
+                from repro.obs.critpath import extend_chrome_trace
+
+                extend_chrome_trace(doc, blame_report)
             validate_chrome_trace(doc)
             with open(args.chrome, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh)
@@ -321,8 +357,9 @@ def cmd_trace(args) -> int:
         doc = json.load(fh)
     n = validate_chrome_trace(doc)
     print(f"{args.file}: valid Chrome trace, {n} events")
-    if args.chrome:
-        print("--chrome only applies to .jsonl event logs", file=sys.stderr)
+    if args.chrome or args.top or args.blame or args.blame_out:
+        print("--chrome/--top/--blame only apply to .jsonl event logs",
+              file=sys.stderr)
         return 2
     return 0
 
@@ -368,6 +405,7 @@ def cmd_sweep(args) -> int:
             scales=args.scales,
             seeds=args.seeds,
             params=_parse_sweep_params(args.param),
+            blame=args.blame,
         )
     except (KeyError, ValueError, TypeError) as exc:
         print(exc, file=sys.stderr)
@@ -437,6 +475,44 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.obs.bench import (
+        DEFAULT_CELLS,
+        compare_reports,
+        format_bench,
+        run_bench,
+        write_bench_json,
+    )
+
+    cells = args.cells or list(DEFAULT_CELLS)
+    report = run_bench(
+        cells,
+        scale=args.scale,
+        seed=args.seed,
+        progress=lambda line: print(f"  {line}"),
+        repeats=args.repeats,
+    )
+    print()
+    print(format_bench(report))
+    if args.out:
+        write_bench_json(args.out, report)
+        print(f"wrote {args.out}")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures, notes = compare_reports(baseline, report, args.tolerance)
+        for note in notes:
+            print(f"note: {note}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"bench OK vs {args.compare} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.core.profiling import JobProfiler
 
@@ -482,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the structured event log as JSONL")
     run.add_argument("--metrics-out", metavar="FILE", default=None,
                      help="write the metrics registry snapshot as JSON")
+    run.add_argument("--blame-out", metavar="FILE", default=None,
+                     help="write the critical-path blame report as JSON "
+                     "(implies tracing)")
     run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(
@@ -489,7 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("file", help="a .jsonl event log or Chrome trace JSON")
     trace.add_argument("--chrome", metavar="FILE", default=None,
-                       help="also convert a .jsonl log to Chrome trace JSON")
+                       help="also convert a .jsonl log to Chrome trace JSON "
+                       "(with critpath metadata when --blame is given)")
+    trace.add_argument("--top", type=int, metavar="N", default=0,
+                       help="show the N slowest spans per category")
+    trace.add_argument("--blame", action="store_true",
+                       help="print the critical-path blame breakdown")
+    trace.add_argument("--blame-out", metavar="FILE", default=None,
+                       help="write the blame report as canonical JSON")
     trace.set_defaults(func=cmd_trace)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
@@ -522,6 +608,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "values are parsed as JSON where possible")
     sweep.add_argument("--cache-dir", default=".repro-sweep-cache",
                        help="result cache location ('none' disables storage)")
+    sweep.add_argument("--blame", action="store_true",
+                       help="trace every cell and attach critical-path "
+                            "blame totals (cached separately from "
+                            "non-blame runs)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="re-execute every cell (fresh results still "
                        "refresh the cache)")
@@ -558,6 +648,33 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default="chaos_report.json",
                        help="resilience report path (JSON)")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark simulator throughput and blame; CI regression gate",
+        description="Run sweep cells at a pinned scale/seed, measuring "
+        "wall-clock simulator throughput (events/sec, spans/sec, peak "
+        "RSS, per-subsystem event counts) and the critical-path blame "
+        "breakdown, writing a repro.bench/1 report.  With --compare, "
+        "exit non-zero if any cell's events/sec regressed beyond the "
+        "tolerance vs the baseline report.",
+    )
+    bench.add_argument("cells", nargs="*",
+                       help="cells to benchmark (default: headline fig01 "
+                       "fig02 fig08 fig10 chaos)")
+    bench.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
+                       default="tiny")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=2,
+                       help="perf-pass executions per cell; the fastest "
+                            "wall time counts (noise filter)")
+    bench.add_argument("--out", default="BENCH_headline.json",
+                       help="bench report path (empty string to skip)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="baseline repro.bench report to gate against")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed fractional events/sec regression")
+    bench.set_defaults(func=cmd_bench)
 
     prof = sub.add_parser("profile", help="train the Phase I profiler")
     prof.add_argument("benchmark")

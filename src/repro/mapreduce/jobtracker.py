@@ -77,6 +77,7 @@ class JobTracker:
         self.active_jobs: List[Job] = []
         self.finished_jobs: List[Job] = []
         self._job_ids = itertools.count(1)
+        self._attempt_ids = itertools.count(1)
         self._callbacks: Dict[int, Callable[[Job], None]] = {}
         self._dispatch_pending = False
         self.speculative_launched = 0
@@ -86,6 +87,10 @@ class JobTracker:
             )
         else:
             self._spec_cancel = None
+
+    def next_attempt_id(self) -> int:
+        """Sequence for :class:`~repro.mapreduce.task.TaskAttempt` ids."""
+        return next(self._attempt_ids)
 
     # ------------------------------------------------------------------
     # submission
@@ -118,6 +123,14 @@ class JobTracker:
         job.reduce_tasks = [Task(job, TaskKind.REDUCE, i) for i in range(n_reduces)]
         for task in job.reduce_tasks:
             task.maps_pending = len(job.map_tasks)
+        # blame bookkeeping: maps are runnable from submission; reduces
+        # only once the slowstart fraction of maps completes (see
+        # ``_on_map_done``), except when nothing gates them
+        for task in job.map_tasks:
+            task.runnable_since = self.sim.now
+        if not job.map_tasks or self.slowstart <= 0.0:
+            for task in job.reduce_tasks:
+                task.runnable_since = self.sim.now
         job.state = JobState.RUNNING
         self.active_jobs.append(job)
         if on_complete is not None:
@@ -129,6 +142,7 @@ class JobTracker:
                 f"job:{spec.name}#{job.job_id}",
                 category="job",
                 track="jobs",
+                job_id=job.job_id,
                 benchmark=spec.profile.name,
                 input_gb=spec.input_gb,
                 maps=len(job.map_tasks),
@@ -336,7 +350,7 @@ class JobTracker:
         task.winning_attempt = attempt
         for sibling in list(task.running_attempts):
             if sibling is not attempt:
-                sibling.kill()
+                sibling.kill(reason="lost_race")
         if task.kind is TaskKind.MAP:
             self._on_map_done(task, attempt)
         self._check_job_done(task.job)
@@ -361,6 +375,26 @@ class JobTracker:
                 )
             for running in reduce_task.running_attempts:
                 running.notify_map_output(host, per_reduce_mb)
+        # slowstart crossing: reduces become runnable once the slowstart
+        # fraction of maps completes.  Record when, and the causal edge
+        # back to the map completion that tipped it over.
+        if (
+            job.reduce_tasks
+            and job.reduce_tasks[0].runnable_since is None
+            and job.map_progress() + 1e-12 >= self.slowstart
+        ):
+            for reduce_task in job.reduce_tasks:
+                reduce_task.runnable_since = self.sim.now
+            obs = self.sim.obs
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    f"job.slowstart:{job.spec.name}#{job.job_id}",
+                    category="job",
+                    track="jobs",
+                    job_id=job.job_id,
+                    maps_done=sum(1 for t in job.map_tasks if t.completed),
+                    cause=f"{task.name}#a{attempt.attempt_id}",
+                )
         if job.maps_done and job.maps_done_time is None:
             job.maps_done_time = self.sim.now
 
@@ -410,7 +444,12 @@ class JobTracker:
             tracker.alive = False
             for attempt in list(tracker.running):
                 attempts_lost += 1
-                attempt.kill()
+                task = attempt.task
+                attempt.kill(reason="node_failure")
+                if not task.completed:
+                    # the task requeues; its next attempt is fault blame
+                    task.runnable_since = self.sim.now
+                    task.fault_reexec = True
         lost_host = context.host
         maps_lost = 0
         fetches_cancelled = 0
@@ -469,6 +508,7 @@ class JobTracker:
             return 0
         n_reduces = max(1, len(job.reduce_tasks))
         reopened = 0
+        obs = self.sim.obs
         for task in job.map_tasks:
             winner = task.winning_attempt
             if not task.completed or winner is None:
@@ -482,6 +522,20 @@ class JobTracker:
             task.completed = False
             task.completed_at = None
             task.winning_attempt = None
+            # causal edge: re-execution -> the node failure that lost
+            # the map output
+            task.runnable_since = self.sim.now
+            task.fault_reexec = True
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    f"task.reexecute:{task.name}",
+                    category="fault",
+                    track="chaos",
+                    task=task.name,
+                    job_id=job.job_id,
+                    cause="node_failure",
+                    host=lost_host,
+                )
             for reduce_task in job.reduce_tasks:
                 if reduce_task.completed:
                     continue

@@ -45,6 +45,12 @@ class Task:
         self.completed = False
         self.completed_at: Optional[float] = None
         self.winning_attempt: Optional["TaskAttempt"] = None
+        #: causal bookkeeping for blame attribution (repro.obs.critpath):
+        #: when the task last became runnable (submit, slowstart crossing,
+        #: or fault-forced requeue) and whether its next execution is a
+        #: re-execution caused by a fault rather than first-time work
+        self.runnable_since: Optional[float] = None
+        self.fault_reexec = False
         # shuffle backlog for reduces scheduled after maps finish:
         # host -> MB already waiting to be fetched
         self.shuffle_backlog: Dict[str, float] = {}
@@ -69,8 +75,6 @@ class Task:
 class TaskAttempt:
     """One execution of a task on a specific TaskTracker."""
 
-    _next_id = 0
-
     def __init__(
         self,
         jt: "JobTracker",
@@ -78,14 +82,24 @@ class TaskAttempt:
         tracker: "TaskTracker",
         speculative: bool = False,
     ) -> None:
-        TaskAttempt._next_id += 1
-        self.attempt_id = TaskAttempt._next_id
+        # per-JobTracker sequence (not a class-global counter), so two
+        # same-seed runs in one process yield identical attempt names
+        # and hence byte-identical trace/blame reports
+        self.attempt_id = jt.next_attempt_id()
         self.jt = jt
         self.sim = jt.sim
         self.task = task
         self.tracker = tracker
         self.speculative = speculative
         self.started_at = self.sim.now
+        #: blame bookkeeping: snapshot the task's runnable state at launch
+        #: (the task may be re-marked runnable later by another fault)
+        self.runnable_since = (
+            task.runnable_since
+            if task.runnable_since is not None
+            else self.sim.now
+        )
+        self.fault_reexec = task.fault_reexec
         self.finished_at: Optional[float] = None
         self.killed = False
         self.running = True
@@ -98,6 +112,11 @@ class TaskAttempt:
         self._pending_fetch: Dict[str, float] = {}
         self._active_fetches = 0
         self._maps_pending = 0
+        # wall time with at least one in-flight shuffle fetch; the rest
+        # of the shuffle stage is waiting on upstream maps (blame:
+        # shuffle_wait vs network_contention)
+        self._fetch_busy_s = 0.0
+        self._fetch_busy_since: Optional[float] = None
         # True whenever the attempt is not actively fetching: before the
         # startup stage seeds shuffle state (the task-level backlog
         # carries early map completions) and after the shuffle drains
@@ -117,13 +136,25 @@ class TaskAttempt:
     def start(self) -> None:
         tracer = self.sim.obs.tracer
         if tracer.enabled:
+            ctx = self.tracker.context
             self._span = tracer.begin(
                 f"{self.task.name}#a{self.attempt_id}",
                 category="task",
                 track=self.tracker.name,
                 parent=self.task.job.obs_span,
+                attempt_id=self.attempt_id,
+                job_id=self.task.job.job_id,
+                task=self.task.name,
                 kind=self.task.kind.value,
                 speculative=self.speculative,
+                # causal edge: attempt -> the slot wait it just ended
+                runnable_since=self.runnable_since,
+                wait_s=self.sim.now - self.runnable_since,
+                # causal edge: re-execution -> the fault that forced it
+                fault_reexec=self.fault_reexec,
+                virtual=ctx.is_virtual,
+                host=ctx.host,
+                ctx=ctx.name,
             )
         profile = self.task.job.spec.profile
         need = (
@@ -149,14 +180,19 @@ class TaskAttempt:
         else:
             self._run_reduce()
 
-    def kill(self) -> None:
-        """Abort the attempt and release its resources and slot."""
+    def kill(self, reason: str = "killed") -> None:
+        """Abort the attempt and release its resources and slot.
+
+        ``reason`` distinguishes why ("lost_race" to a sibling attempt,
+        "node_failure", or a plain administrative kill) in the trace.
+        """
         if not self.running:
             return
         self.killed = True
         self.running = False
+        self._note_fetch_activity()
         self.sim.obs.metrics.counter("attempts.killed").inc()
-        self._close_spans("killed")
+        self._close_spans("killed", reason=reason)
         for handle in self._handles:
             self._cancel_handle(handle)
         self._handles.clear()
@@ -186,7 +222,19 @@ class TaskAttempt:
         metrics.histogram(f"attempt.{self.task.kind.value}.duration_s").observe(
             self.finished_at - self.started_at
         )
-        self._close_spans("succeeded")
+        if self._span is not None:
+            # stage-decomposition inputs for repro.obs.critpath, recorded
+            # on the attempt span so blame needs only the trace
+            ctx = self.tracker.context
+            self._close_spans(
+                "succeeded",
+                work_factor=self.work_factor,
+                io_penalty=self._io_penalty(),
+                cpu_eff=ctx.cpu_efficiency(),
+                disk_eff=ctx.disk_efficiency(),
+                net_eff=ctx.net_efficiency(),
+                fetch_busy_s=self._fetch_busy_s,
+            )
         self.tracker.context.free_mem(self._mem_mb)
         self._mem_mb = 0.0
         self._handles.clear()
@@ -239,12 +287,12 @@ class TaskAttempt:
                 parent=self._span,
             )
 
-    def _close_spans(self, status: str) -> None:
+    def _close_spans(self, status: str, **extra) -> None:
         if self._span is None:
             return
         tracer = self.sim.obs.tracer
         tracer.end(self._stage_span)
-        tracer.end(self._span, status=status)
+        tracer.end(self._span, status=status, **extra)
         self._stage_span = None
         self._span = None
 
@@ -460,6 +508,19 @@ class TaskAttempt:
         self._active_fetches -= 1
         self._pump_fetches()
 
+    def _note_fetch_activity(self) -> None:
+        """Accumulate wall time with >=1 in-flight shuffle fetch.
+
+        Pure accounting on state transitions -- draws no randomness and
+        schedules nothing, so it cannot perturb the simulation.
+        """
+        if self._active_fetches > 0:
+            if self._fetch_busy_since is None:
+                self._fetch_busy_since = self.sim.now
+        elif self._fetch_busy_since is not None:
+            self._fetch_busy_s += self.sim.now - self._fetch_busy_since
+            self._fetch_busy_since = None
+
     def cancel_fetches_from(self, host: str) -> int:
         """Abort in-flight shuffle fetches sourced from a dead ``host``.
 
@@ -488,10 +549,12 @@ class TaskAttempt:
             self._handles.remove(flow)
             self._active_fetches -= 1
         if doomed:
+            self._note_fetch_activity()
             self._pump_fetches()
         return len(doomed)
 
     def _maybe_end_shuffle(self) -> None:
+        self._note_fetch_activity()
         if (
             self._maps_pending == 0
             and not self._pending_fetch

@@ -14,6 +14,9 @@ Every :class:`~repro.sim.engine.Simulator` owns an
 Call :meth:`Observability.enable_tracing` (or pass ``--trace`` to
 ``repro run``) to record spans; :mod:`repro.obs.export` then renders
 Chrome trace-event JSON, a JSONL structured log, and a text summary.
+:mod:`repro.obs.critpath` turns a traced run into a per-job
+critical-path blame breakdown, and :mod:`repro.obs.bench` benchmarks
+the simulator itself (``repro bench``) with a regression gate.
 
 Instrumentation only *records* -- it never draws randomness or
 schedules events -- so identical seeds produce byte-identical
@@ -24,7 +27,12 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
-from repro.obs.capture import MetricsCapture, active_capture
+from repro.obs.capture import (
+    MetricsCapture,
+    SimCapture,
+    active_capture,
+    active_sim_capture,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
@@ -68,7 +76,9 @@ __all__ = [
     "Span",
     "MetricsRegistry",
     "MetricsCapture",
+    "SimCapture",
     "active_capture",
+    "active_sim_capture",
     "Counter",
     "Gauge",
     "Histogram",

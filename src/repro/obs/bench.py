@@ -1,0 +1,275 @@
+"""Continuous simulator benchmarking (``repro bench``).
+
+Treats the simulator's own throughput as a first-class metric: each
+benchmarked cell (a :mod:`repro.sweep` figure function) runs in two
+passes --
+
+1. an *untraced perf pass* under a :class:`~repro.obs.capture.SimCapture`
+   with event accounting, measuring wall-clock time, events processed,
+   events/sec and per-subsystem event counts (best-of-``repeats``
+   executions, so machine noise cannot masquerade as a regression);
+2. a *traced blame pass* with tracing forced on, collecting spans and
+   the :mod:`repro.obs.critpath` blame breakdown.
+
+The two passes double as a determinism check: the sha256 digest of the
+cell's canonical result must match between them (tracing must never
+perturb the simulation), reported per cell as ``tracing_consistent``.
+
+``run_bench`` writes one report (schema ``repro.bench/1``)::
+
+    {
+      "schema": "repro.bench/1",
+      "repro_version": "...", "python": "...", "platform": "...",
+      "scale": "tiny", "seed": 1,
+      "cells": {
+        "<figure>": {
+          "wall_s": ..., "events": N, "events_per_s": ...,
+          "simulators": N, "event_counts": {"repro.sim.network": N, ...},
+          "wall_traced_s": ..., "spans": N, "spans_per_s": ...,
+          "result_digest": "sha256...", "tracing_consistent": true,
+          "jobs": N, "blame_s": {...}, "blame_pct": {...}
+        }, ...
+      },
+      "totals": {"wall_s", "events", "events_per_s", "elapsed_s",
+                 "peak_rss_kb"}
+    }
+
+``compare_reports`` is the CI regression gate: against a committed
+baseline it fails when any cell's events/sec drops by more than the
+tolerance (default 20%) or tracing perturbed a result; result-digest
+changes are surfaced as notes (simulation outputs legitimately change
+across PRs -- the gate watches *speed*, the tests watch *correctness*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.obs.capture import SimCapture
+
+REPORT_SCHEMA = "repro.bench/1"
+
+#: cells benchmarked by default: the headline claims plus one cell per
+#: subsystem of interest (virt overheads, deployment geometry, the
+#: scheduler benefit suite, live migration, fault injection)
+DEFAULT_CELLS: Tuple[str, ...] = (
+    "headline",
+    "fig01",
+    "fig02",
+    "fig08",
+    "fig10",
+    "chaos",
+)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process (KB on Linux)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def result_digest(result: object) -> str:
+    """sha256 of the canonical JSON of a cell result."""
+    payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_cell(
+    figure: str, scale: str = "tiny", seed: int = 1, repeats: int = 2
+) -> dict:
+    """Benchmark one sweep cell: perf pass + traced blame pass.
+
+    The perf pass runs ``repeats`` times and keeps the *fastest* wall
+    time -- the usual best-of-N discipline that filters out scheduler
+    noise from a shared machine, making the regression gate far less
+    flaky.  Every repetition must produce the same result digest (the
+    cells are pure functions of seed), which is asserted.
+    """
+    from repro.experiments.common import resolve_scale
+    from repro.sweep.cells import load, resolve
+
+    figure = resolve(figure)
+    fn = load(figure)
+    scale_obj = resolve_scale(scale)
+
+    wall_s = float("inf")
+    digest = None
+    for _ in range(max(1, repeats)):
+        with SimCapture(accounting=True) as perf:
+            started = time.perf_counter()
+            result = fn(scale_obj, seed)
+            wall_s = min(wall_s, time.perf_counter() - started)
+        rep_digest = result_digest(result)
+        if digest is not None and rep_digest != digest:
+            raise AssertionError(
+                f"cell {figure} is not a pure function of its seed: "
+                "result digest changed between perf repetitions"
+            )
+        digest = rep_digest
+    events = perf.total_events()
+
+    with SimCapture(tracing=True) as traced:
+        started = time.perf_counter()
+        result_traced = fn(scale_obj, seed)
+        wall_traced_s = time.perf_counter() - started
+    blame = traced.combined_blame()
+    spans = traced.total_spans()
+
+    return {
+        "figure": figure,
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+        "simulators": len(perf.simulators),
+        "event_counts": perf.combined_event_counts(),
+        "wall_traced_s": wall_traced_s,
+        "spans": spans,
+        "spans_per_s": spans / wall_traced_s if wall_traced_s > 0 else 0.0,
+        "result_digest": digest,
+        "tracing_consistent": result_digest(result_traced) == digest,
+        "jobs": blame["total"]["jobs"],
+        "blame_s": blame["total"]["blame_s"],
+        "blame_pct": blame["total"]["blame_pct"],
+    }
+
+
+def run_bench(
+    cells: Sequence[str] = DEFAULT_CELLS,
+    scale: str = "tiny",
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    repeats: int = 2,
+) -> dict:
+    """Benchmark ``cells`` and return the ``repro.bench/1`` report."""
+    started = time.perf_counter()
+    out: Dict[str, dict] = {}
+    for figure in cells:
+        cell = run_cell(figure, scale, seed, repeats=repeats)
+        out[cell["figure"]] = cell
+        if progress is not None:
+            progress(
+                f"{cell['figure']}: {cell['events']} events in "
+                f"{cell['wall_s']:.2f}s ({cell['events_per_s']:,.0f}/s), "
+                f"{cell['spans']} spans, {cell['jobs']} jobs"
+            )
+    elapsed = time.perf_counter() - started
+    total_wall = sum(c["wall_s"] for c in out.values())
+    total_events = sum(c["events"] for c in out.values())
+    return {
+        "schema": REPORT_SCHEMA,
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": scale,
+        "seed": seed,
+        "cells": out,
+        "totals": {
+            "wall_s": total_wall,
+            "events": total_events,
+            "events_per_s": total_events / total_wall if total_wall > 0 else 0.0,
+            "elapsed_s": elapsed,
+            "peak_rss_kb": _peak_rss_kb(),
+        },
+    }
+
+
+def write_bench_json(path: str, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def compare_reports(
+    baseline: dict, current: dict, tolerance: float = 0.2
+) -> Tuple[List[str], List[str]]:
+    """Compare a bench report against a baseline.
+
+    Returns ``(failures, notes)``.  Failures (events/sec regression
+    beyond ``tolerance``, tracing perturbing a result) should fail CI;
+    notes (digest changes, cell set drift) are informational.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    failures: List[str] = []
+    notes: List[str] = []
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    for name in sorted(base_cells):
+        if name not in cur_cells:
+            notes.append(f"{name}: in baseline but missing from current run")
+            continue
+        base, cur = base_cells[name], cur_cells[name]
+        floor = base["events_per_s"] * (1.0 - tolerance)
+        if cur["events_per_s"] < floor:
+            failures.append(
+                f"{name}: events/s regressed "
+                f"{base['events_per_s']:,.0f} -> {cur['events_per_s']:,.0f} "
+                f"(floor {floor:,.0f} at tolerance {tolerance:.0%})"
+            )
+        if not cur.get("tracing_consistent", True):
+            failures.append(
+                f"{name}: tracing perturbed the simulation result "
+                "(digest mismatch between perf and blame passes)"
+            )
+        if cur.get("result_digest") != base.get("result_digest"):
+            notes.append(
+                f"{name}: result digest changed "
+                f"(simulation output differs from the baseline)"
+            )
+        if base.get("events") and cur.get("events") != base["events"]:
+            notes.append(
+                f"{name}: events {base['events']} -> {cur['events']}"
+            )
+    for name in sorted(set(cur_cells) - set(base_cells)):
+        notes.append(f"{name}: new cell, not in baseline")
+    return failures, notes
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def format_bench(report: dict) -> str:
+    """Human-readable bench report table."""
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name, cell in sorted(report["cells"].items()):
+        top_blame = max(
+            cell["blame_s"].items(), key=lambda kv: kv[1]
+        )[0] if any(cell["blame_s"].values()) else "-"
+        rows.append(
+            [
+                name,
+                round(cell["wall_s"], 3),
+                cell["events"],
+                round(cell["events_per_s"]),
+                cell["spans"],
+                cell["jobs"],
+                "ok" if cell["tracing_consistent"] else "PERTURBED",
+                top_blame,
+            ]
+        )
+    totals = report["totals"]
+    title = (
+        f"repro bench @ {report['scale']} seed {report['seed']} -- "
+        f"{totals['events']} events in {totals['wall_s']:.2f}s "
+        f"({totals['events_per_s']:,.0f}/s), "
+        f"peak RSS {(totals['peak_rss_kb'] or 0) / 1024.0:.0f} MB"
+    )
+    return format_table(
+        ["cell", "wall_s", "events", "events/s", "spans", "jobs",
+         "traced", "top_blame"],
+        rows,
+        title=title,
+    )

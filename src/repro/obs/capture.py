@@ -85,3 +85,82 @@ def register_registry(registry: "MetricsRegistry") -> None:
     """Hand a freshly built registry to the active capture, if any."""
     if _ACTIVE is not None:
         _ACTIVE.add(registry)
+
+
+# ----------------------------------------------------------------------
+# simulator capture (bench profiling and blame passes)
+# ----------------------------------------------------------------------
+_ACTIVE_SIM: Optional["SimCapture"] = None
+
+
+class SimCapture:
+    """Collects every :class:`~repro.sim.engine.Simulator` built while
+    active, optionally flipping on tracing and/or event accounting.
+
+    The bench profiler (:mod:`repro.obs.bench`) and the sweep runner's
+    blame pass use this the same way cells' metrics are captured: the
+    figure functions build their simulators internally, so the only
+    seam is construction-time interception.  Forced tracing cannot
+    perturb results -- recording draws no randomness and schedules no
+    events -- which the bench's digest cross-check verifies on every
+    cell.  Captures nest and restore their predecessor on exit.
+    """
+
+    def __init__(self, tracing: bool = False, accounting: bool = False) -> None:
+        self.simulators: List[object] = []
+        self.tracing = tracing
+        self.accounting = accounting
+        self._previous: Optional["SimCapture"] = None
+
+    def __enter__(self) -> "SimCapture":
+        global _ACTIVE_SIM
+        self._previous = _ACTIVE_SIM
+        _ACTIVE_SIM = self
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _ACTIVE_SIM
+        _ACTIVE_SIM = self._previous
+        self._previous = None
+        return False
+
+    def add(self, sim) -> None:
+        self.simulators.append(sim)
+        if self.tracing:
+            sim.obs.enable_tracing()
+        if self.accounting:
+            sim.enable_event_accounting()
+
+    # -- aggregate views over all captured simulators -------------------
+    def total_events(self) -> int:
+        return sum(s.events_processed for s in self.simulators)
+
+    def total_spans(self) -> int:
+        return sum(len(s.obs.tracer) for s in self.simulators)
+
+    def combined_event_counts(self) -> Dict[str, int]:
+        """Per-module event counts summed across simulators."""
+        out: Dict[str, int] = {}
+        for sim in self.simulators:
+            for module, count in sim.event_counts.items():
+                out[module] = out.get(module, 0) + count
+        return dict(sorted(out.items()))
+
+    def combined_blame(self) -> dict:
+        """One blame report over every captured (traced) simulator."""
+        from repro.obs.critpath import build_blame, merge_blame
+        from repro.obs.export import collect_events
+
+        return merge_blame(
+            [build_blame(collect_events(s.obs)) for s in self.simulators]
+        )
+
+
+def active_sim_capture() -> Optional[SimCapture]:
+    return _ACTIVE_SIM
+
+
+def register_simulator(sim) -> None:
+    """Hand a freshly built simulator to the active capture, if any."""
+    if _ACTIVE_SIM is not None:
+        _ACTIVE_SIM.add(sim)

@@ -262,6 +262,39 @@ def summarize_events(events: List[dict]) -> str:
     return "\n\n".join(sections)
 
 
+def top_spans(events: List[dict], n: int = 10) -> str:
+    """Table of the ``n`` slowest spans per category.
+
+    Hand tool for critical-path digging: the spans dominating each
+    category are usually the ones worth explaining (or blaming via
+    :mod:`repro.obs.critpath`).  Deterministic ordering: duration
+    descending, then start time and span id.
+    """
+    from repro.metrics.report import format_table
+
+    by_cat: Dict[str, List[dict]] = {}
+    for event in events:
+        if event["type"] == "span":
+            by_cat.setdefault(event["cat"] or "span", []).append(event)
+    if not by_cat:
+        return "(no spans)"
+    sections: List[str] = []
+    for cat in sorted(by_cat):
+        worst = sorted(
+            by_cat[cat], key=lambda e: (-e["dur"], e["ts"], e["id"])
+        )[: max(1, n)]
+        rows = [
+            [e["name"], e["track"], e["ts"], e["dur"]] for e in worst
+        ]
+        sections.append(
+            format_table(
+                ["span", "track", "start_s", "dur_s"], rows,
+                title=f"slowest {cat} spans",
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def run_summary(obs: "Observability") -> str:
     """Text summary of a finished run: spans, counters, histograms."""
     from repro.metrics.report import format_table

@@ -63,7 +63,13 @@ class Gauge:
 
 
 class Histogram:
-    """A value distribution with percentile summaries."""
+    """A value distribution with percentile summaries.
+
+    Statistics are computed over the *finite* samples only: an empty
+    histogram (or one fed nothing but ``nan``/``inf``) summarizes to
+    all-zero values rather than NaN, so downstream JSON reports stay
+    comparable byte-for-byte and never carry non-numbers.
+    """
 
     __slots__ = ("name", "values")
 
@@ -74,29 +80,38 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.values.append(value)
 
+    def _finite(self) -> List[float]:
+        import math
+
+        return [v for v in self.values if math.isfinite(v)]
+
     @property
     def count(self) -> int:
         return len(self.values)
 
     def mean(self) -> float:
-        return sum(self.values) / len(self.values) if self.values else 0.0
+        values = self._finite()
+        return sum(values) / len(values) if values else 0.0
 
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        values = self._finite()
+        return min(values) if values else 0.0
 
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        values = self._finite()
+        return max(values) if values else 0.0
 
     def percentile(self, q: float) -> float:
         from repro.sim.trace import percentile
 
-        return percentile(self.values, q)
+        return percentile(self._finite(), q)
 
     def summary(self) -> Dict[str, float]:
         return {
             "count": float(self.count),
             "mean": self.mean(),
             "min": self.min(),
+            "p10": self.percentile(10.0),
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),

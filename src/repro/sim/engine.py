@@ -58,9 +58,16 @@ class Simulator:
         self._seq = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: per-subsystem event counts (callback module -> events); None
+        #: until :meth:`enable_event_accounting` -- the bench profiler
+        #: turns it on, normal runs keep the hot loop check-free
+        self._event_counts: Optional[Dict[str, int]] = None
         #: observability handle shared by every subsystem on this
         #: simulator; tracing is off until ``obs.enable_tracing()``
         self.obs = Observability(clock=lambda: self.now)
+        from repro.obs.capture import register_simulator
+
+        register_simulator(self)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -133,6 +140,15 @@ class Simulator:
             if event.time < self.now - 1e-9:
                 raise RuntimeError("event queue went backwards in time")
             self.now = max(self.now, event.time)
+            counts = self._event_counts
+            if counts is not None:
+                callback = event.callback
+                module = getattr(callback, "__module__", None)
+                if module is None:  # partials / odd callables
+                    module = getattr(
+                        getattr(callback, "func", None), "__module__", "unknown"
+                    ) or "unknown"
+                counts[module] = counts.get(module, 0) + 1
             event.callback()
             self.events_processed += 1
             return True
@@ -164,6 +180,20 @@ class Simulator:
     # ------------------------------------------------------------------
     # utilities
     # ------------------------------------------------------------------
+    def enable_event_accounting(self) -> None:
+        """Start counting processed events per callback module.
+
+        Idempotent.  Pure bookkeeping on the event loop -- it cannot
+        change simulation behaviour, only observe it.
+        """
+        if self._event_counts is None:
+            self._event_counts = {}
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Events processed per callback module (empty until enabled)."""
+        return dict(self._event_counts or {})
+
     def fork_rng(self, label: str) -> random.Random:
         """Create an independent RNG stream derived from the seed.
 

@@ -293,6 +293,9 @@ class NetworkFabric:
                 dst=dst,
                 mb=mb,
                 loopback=flow.is_loopback,
+                # NIC efficiency at launch: <1 marks virtualization tax
+                # on this transfer (blame: network virt share)
+                eff=efficiency,
             )
         self._rebalance()
         return flow

@@ -9,7 +9,10 @@ the metric path and sample values, so reports are reproducible without
 touching the simulation seeds.
 
 Per-cell ``repro.obs`` counter snapshots aggregate the same way under
-each group's ``obs`` key.
+each group's ``obs`` key, per-cell wall-clock time under ``wall_s``
+(mean/p95 wall time per cell in the report JSON), and -- for blame
+sweeps -- the :mod:`repro.obs.critpath` category totals under
+``blame``.
 """
 
 from __future__ import annotations
@@ -112,32 +115,40 @@ def aggregate_cells(cells: Sequence[dict]) -> List[dict]:
         members = sorted(grouped[key], key=lambda c: c["seed"])
         paths: Dict[str, List[float]] = {}
         counters: Dict[str, List[float]] = {}
+        blame_paths: Dict[str, List[float]] = {}
         for cell in members:
             for path, value in flatten(cell["result"]).items():
                 paths.setdefault(path, []).append(value)
             obs = cell.get("metrics") or {}
             for name, value in (obs.get("counters") or {}).items():
                 counters.setdefault(name, []).append(value)
+            for path, value in flatten(cell.get("blame") or {}).items():
+                blame_paths.setdefault(path, []).append(value)
         figure, scale, params_json = key
-        out.append(
-            {
-                "figure": figure,
-                "scale": scale,
-                "params": json.loads(params_json),
-                "seeds": [c["seed"] for c in members],
-                "wall_s": summarize(
-                    [c["wall_s"] for c in members], f"{figure}:wall_s"
-                ),
-                "metrics": {
-                    path: summarize(values, f"{figure}:{path}")
-                    for path, values in sorted(paths.items())
-                },
-                "obs": {
-                    name: summarize(values, f"{figure}:obs:{name}")
-                    for name, values in sorted(counters.items())
-                },
+        group = {
+            "figure": figure,
+            "scale": scale,
+            "params": json.loads(params_json),
+            "seeds": [c["seed"] for c in members],
+            "wall_s": summarize(
+                [c["wall_s"] for c in members], f"{figure}:wall_s"
+            ),
+            "metrics": {
+                path: summarize(values, f"{figure}:{path}")
+                for path, values in sorted(paths.items())
+            },
+            "obs": {
+                name: summarize(values, f"{figure}:obs:{name}")
+                for name, values in sorted(counters.items())
+            },
+        }
+        if blame_paths:
+            # blame cells carry jobs / blame_s.<cat> / blame_pct.<cat>
+            group["blame"] = {
+                path: summarize(values, f"{figure}:blame:{path}")
+                for path, values in sorted(blame_paths.items())
             }
-        )
+        out.append(group)
     return out
 
 

@@ -38,17 +38,23 @@ def execute_cell(config: dict) -> dict:
     ``config`` is a :meth:`CellSpec.config` dict.  The cell runs under a
     :class:`~repro.obs.MetricsCapture`, so the document carries the
     merged ``repro.obs`` snapshot of every simulator the figure built.
+    With ``config["blame"]`` set the cell also runs under a tracing
+    :class:`~repro.obs.capture.SimCapture` and the document carries the
+    :mod:`repro.obs.critpath` blame totals of every job it simulated
+    (tracing is pure recording, so the result itself is unchanged).
     """
     from repro.experiments.common import resolve_scale
-    from repro.obs.capture import MetricsCapture
+    from repro.obs.capture import MetricsCapture, SimCapture
 
     fn = cell_registry.load(config["figure"])
     scale = resolve_scale(config["scale"])
     started = time.perf_counter()
-    with MetricsCapture() as capture:
+    with MetricsCapture() as capture, SimCapture(
+        tracing=bool(config.get("blame"))
+    ) as sims:
         result = fn(scale, config["seed"], **config.get("params", {}))
     wall_s = time.perf_counter() - started
-    return {
+    doc = {
         "figure": config["figure"],
         "scale": config["scale"],
         "seed": config["seed"],
@@ -57,6 +63,10 @@ def execute_cell(config: dict) -> dict:
         "metrics": capture.combined_snapshot(),
         "wall_s": wall_s,
     }
+    if config.get("blame"):
+        blame = sims.combined_blame()["total"]
+        doc["blame"] = json.loads(json.dumps(blame, sort_keys=True))
+    return doc
 
 
 def run_sweep(

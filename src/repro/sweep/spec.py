@@ -42,19 +42,28 @@ class CellSpec:
     scale: str
     seed: int
     params: Tuple[Tuple[str, object], ...] = ()
+    blame: bool = False
 
     @property
     def params_dict(self) -> Dict[str, object]:
         return dict(self.params)
 
     def config(self) -> dict:
-        """Normalized configuration (the content-address payload)."""
-        return {
+        """Normalized configuration (the content-address payload).
+
+        ``blame`` appears only when set, so the content addresses of
+        every pre-existing (non-blame) cell configuration -- and hence
+        their cache entries -- are unchanged.
+        """
+        out = {
             "figure": self.figure,
             "scale": self.scale,
             "seed": self.seed,
             "params": {k: v for k, v in sorted(self.params)},
         }
+        if self.blame:
+            out["blame"] = True
+        return out
 
     def label(self) -> str:
         text = f"{self.figure}/{self.scale}/seed{self.seed}"
@@ -77,6 +86,8 @@ class SweepSpec:
     scales: Sequence[str] = ("small",)
     seeds: Sequence[int] = (7,)
     params: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    #: run every cell traced and attach its critical-path blame summary
+    blame: bool = False
 
     def __post_init__(self) -> None:
         if not self.figures:
@@ -110,14 +121,19 @@ class SweepSpec:
                 for combo in itertools.product(*axes):
                     params = tuple(zip(keys, combo))
                     for seed in self.seeds:
-                        out.append(CellSpec(figure, scale, seed, params))
+                        out.append(
+                            CellSpec(figure, scale, seed, params, self.blame)
+                        )
         return out
 
     def describe(self) -> dict:
         """JSON-able summary embedded in the sweep report."""
-        return {
+        out = {
             "figures": list(self.figures),
             "scales": list(self.scales),
             "seeds": list(self.seeds),
             "params": {k: list(v) for k, v in sorted(self.params.items())},
         }
+        if self.blame:
+            out["blame"] = True
+        return out

@@ -124,6 +124,11 @@ class LiveMigration:
                 category="migration",
                 track="migration",
                 parent=self._span,
+                # causal edge: tasks stalled on this guest during the
+                # pause window charge the overlap to virt overhead
+                vm=self.vm.name,
+                src=self.src_pm.name,
+                dst=self.dst_pm.name,
             )
         jitter = 1.0 + cfg.downtime_jitter * (2.0 * self.rng.random() - 1.0)
         downtime_ms = (

@@ -55,6 +55,16 @@ class CgroupController:
         self.log.append(
             ActuationEvent(self.sim.now, context.name, "degrade", min(cpu, disk))
         )
+        obs = self.sim.obs
+        if obs.tracer.enabled:
+            obs.tracer.instant(
+                f"cgroup.degrade:{context.name}",
+                category="virt",
+                track="virt",
+                target=context.name,
+                cpu=cpu,
+                disk=disk,
+            )
 
     def pause(self, vm: VirtualMachine) -> None:
         vm.pause()

@@ -1,0 +1,209 @@
+"""repro.obs.bench + SimCapture: profiling, regression gate, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.obs.bench import (
+    DEFAULT_CELLS,
+    compare_reports,
+    format_bench,
+    result_digest,
+    run_bench,
+    run_cell,
+    write_bench_json,
+)
+from repro.obs.capture import SimCapture, active_sim_capture
+from repro.obs.critpath import CATEGORIES
+from repro.sim.engine import Simulator
+from repro.workloads.specs import make_job
+
+
+def _tiny_job(seed=4):
+    sim = Simulator(seed=seed)
+    cluster = Cluster.native(sim, 4)
+    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    job = mr.run_job(make_job("Sort", input_gb=0.25, num_reducers=2))
+    return sim, job
+
+
+# ----------------------------------------------------------------------
+# SimCapture + engine event accounting
+# ----------------------------------------------------------------------
+def test_sim_capture_collects_and_nests():
+    assert active_sim_capture() is None
+    with SimCapture() as outer:
+        sim_a = Simulator(seed=1)
+        with SimCapture() as inner:
+            sim_b = Simulator(seed=2)
+            assert inner.simulators == [sim_b]
+            assert active_sim_capture() is inner
+        assert active_sim_capture() is outer
+        assert outer.simulators == [sim_a]
+    assert active_sim_capture() is None
+
+
+def test_sim_capture_forces_tracing_and_counts_spans():
+    with SimCapture(tracing=True) as capture:
+        sim, job = _tiny_job()
+    assert job.done
+    assert capture.total_spans() == len(sim.obs.tracer) > 0
+    assert capture.total_events() == sim.events_processed > 0
+
+
+def test_event_accounting_attributes_modules():
+    with SimCapture(accounting=True) as capture:
+        sim, _job = _tiny_job()
+    counts = capture.combined_event_counts()
+    assert counts, "accounting should record per-module event counts"
+    assert sum(counts.values()) == sim.events_processed
+    assert any(module.startswith("repro.") for module in counts)
+
+
+def test_event_accounting_off_by_default():
+    sim, _job = _tiny_job()
+    assert sim.event_counts == {}
+    assert sim.events_processed > 0
+
+
+def test_sim_capture_combined_blame_ties_to_makespan():
+    with SimCapture(tracing=True) as capture:
+        _sim, job = _tiny_job()
+    blame = capture.combined_blame()
+    assert blame["total"]["jobs"] == 1
+    assert sum(blame["total"]["blame_s"].values()) == pytest.approx(
+        job.jct, abs=1e-6
+    )
+
+
+# ----------------------------------------------------------------------
+# run_cell / run_bench
+# ----------------------------------------------------------------------
+def test_run_cell_profiles_and_blames_fig10():
+    cell = run_cell("fig10", scale="tiny", seed=1)
+    assert cell["figure"] == "fig10"
+    assert cell["events"] > 0 and cell["events_per_s"] > 0
+    assert cell["spans"] > 0 and cell["jobs"] >= 1
+    assert cell["tracing_consistent"] is True
+    assert set(cell["blame_s"]) == set(CATEGORIES)
+    assert cell["event_counts"]
+    assert cell["simulators"] >= 1
+
+
+def test_run_bench_report_shape(tmp_path):
+    report = run_bench(["fig10"], scale="tiny", seed=1)
+    assert report["schema"] == "repro.bench/1"
+    assert set(report["cells"]) == {"fig10"}
+    totals = report["totals"]
+    assert totals["events"] == report["cells"]["fig10"]["events"]
+    assert totals["events_per_s"] > 0
+    assert totals["peak_rss_kb"] is None or totals["peak_rss_kb"] > 0
+    out = tmp_path / "bench.json"
+    write_bench_json(str(out), report)
+    assert json.loads(out.read_text()) == json.loads(
+        json.dumps(report)
+    )
+    text = format_bench(report)
+    assert "fig10" in text and "repro bench @ tiny" in text
+
+
+def test_default_cells_cover_headline_and_chaos():
+    assert "headline" in DEFAULT_CELLS and "chaos" in DEFAULT_CELLS
+
+
+def test_result_digest_is_order_insensitive():
+    assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+    assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+def _fake_report(events_per_s=1000.0, digest="d0", consistent=True):
+    return {
+        "cells": {
+            "fig10": {
+                "events": 100,
+                "events_per_s": events_per_s,
+                "result_digest": digest,
+                "tracing_consistent": consistent,
+            }
+        }
+    }
+
+
+def test_compare_reports_passes_identical_runs():
+    report = _fake_report()
+    failures, notes = compare_reports(report, report, 0.2)
+    assert failures == [] and notes == []
+
+
+def test_compare_reports_fails_on_regression():
+    baseline = _fake_report(events_per_s=1000.0)
+    current = _fake_report(events_per_s=700.0)  # -30% < -20% tolerance
+    failures, _notes = compare_reports(baseline, current, 0.2)
+    assert len(failures) == 1 and "regressed" in failures[0]
+    # within tolerance: -10% passes
+    failures, _notes = compare_reports(
+        baseline, _fake_report(events_per_s=900.0), 0.2
+    )
+    assert failures == []
+
+
+def test_compare_reports_fails_on_tracing_perturbation():
+    baseline = _fake_report()
+    current = _fake_report(consistent=False)
+    failures, _notes = compare_reports(baseline, current, 0.2)
+    assert any("perturbed" in f for f in failures)
+
+
+def test_compare_reports_notes_digest_and_cell_drift():
+    baseline = _fake_report()
+    current = _fake_report(digest="d1")
+    current["cells"]["new"] = dict(current["cells"]["fig10"])
+    failures, notes = compare_reports(baseline, current, 0.2)
+    assert failures == []
+    assert any("digest changed" in n for n in notes)
+    assert any("new cell" in n for n in notes)
+    failures, notes = compare_reports(current, baseline, 0.2)
+    assert any("missing from current" in n for n in notes)
+
+
+def test_compare_reports_validates_tolerance():
+    with pytest.raises(ValueError):
+        compare_reports(_fake_report(), _fake_report(), 1.0)
+    with pytest.raises(ValueError):
+        compare_reports(_fake_report(), _fake_report(), -0.1)
+
+
+# ----------------------------------------------------------------------
+# CLI: repro bench --compare exits non-zero on a synthetic regression
+# ----------------------------------------------------------------------
+def test_cli_bench_compare_gate(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH.json"
+    rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
+               "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["cells"]["fig10"]["events_per_s"] > 0
+
+    # self-compare passes the gate
+    rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
+               "--out", "", "--compare", str(out)])
+    assert rc == 0
+    assert "bench OK" in capsys.readouterr().out
+
+    # inject a synthetic regression: baseline claims 100x the speed
+    doctored = copy.deepcopy(report)
+    doctored["cells"]["fig10"]["events_per_s"] *= 100.0
+    baseline = tmp_path / "BASELINE.json"
+    baseline.write_text(json.dumps(doctored))
+    rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
+               "--out", "", "--compare", str(baseline)])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err

@@ -1,0 +1,236 @@
+"""repro.obs.critpath: blame attribution from traced runs.
+
+The load-bearing property throughout: for every succeeded job the blame
+category durations sum *exactly* to the job makespan (the decomposition
+tiles [submit, finish]), across schedulers, virtualized placements,
+live migrations and fault injection.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosInjector, FaultSchedule, FaultSpec
+from repro.cluster.cluster import Cluster
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.schedulers import FairScheduler, FIFOScheduler
+from repro.obs.critpath import (
+    CATEGORIES,
+    REPORT_SCHEMA,
+    blame_from_obs,
+    blame_summary,
+    build_blame,
+    canonical_json,
+    chrome_blame_events,
+    extend_chrome_trace,
+    format_blame,
+    merge_blame,
+)
+from repro.obs.export import chrome_trace, collect_events, validate_chrome_trace
+from repro.sim.engine import Simulator
+from repro.virt.migration import LiveMigration
+from repro.workloads.specs import make_job
+
+
+def assert_exact_tiling(report):
+    """Check the sum-to-makespan invariant and the path tiling per job."""
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["jobs"], "expected at least one succeeded job"
+    for job in report["jobs"]:
+        assert set(job["blame_s"]) == set(CATEGORIES)
+        total = sum(job["blame_s"].values())
+        assert total == pytest.approx(job["makespan_s"], abs=1e-6)
+        if job["makespan_s"] > 0:
+            assert sum(job["blame_pct"].values()) == pytest.approx(
+                100.0, abs=1e-4
+            )
+        # the path segments tile [submit, finish] without gaps/overlaps
+        path = job["path"]
+        assert path
+        assert path[0]["start"] == pytest.approx(job["submit_s"], abs=1e-6)
+        assert path[-1]["end"] == pytest.approx(job["finish_s"], abs=1e-6)
+        for prev, cur in zip(path, path[1:]):
+            assert cur["start"] == pytest.approx(prev["end"], abs=1e-6)
+            assert cur["category"] in CATEGORIES
+
+
+def _native_run(scheduler, seed=11, n=4, jobs=2):
+    sim = Simulator(seed=seed)
+    sim.obs.enable_tracing()
+    cluster = Cluster.native(sim, n)
+    mr = MapReduceCluster(
+        sim, cluster.fabric, cluster.native_contexts(), scheduler=scheduler
+    )
+    # two overlapping jobs force slot contention -> scheduling waits
+    done = mr.run_jobs(
+        [make_job("Sort", input_gb=0.5, num_reducers=2, name=f"j{i}")
+         for i in range(jobs)]
+    )
+    assert all(job.done for job in done)
+    return sim
+
+
+# ----------------------------------------------------------------------
+# sum-to-makespan property across schedulers and deployments
+# ----------------------------------------------------------------------
+def test_blame_sums_to_makespan_fifo():
+    sim = _native_run(FIFOScheduler())
+    report = blame_from_obs(sim.obs)
+    assert report["total"]["jobs"] == 2
+    assert_exact_tiling(report)
+    # contended FIFO jobs must show some non-compute blame
+    assert report["total"]["blame_s"]["compute"] > 0.0
+
+
+def test_blame_sums_to_makespan_fair():
+    sim = _native_run(FairScheduler())
+    report = blame_from_obs(sim.obs)
+    assert report["total"]["jobs"] == 2
+    assert_exact_tiling(report)
+
+
+def test_blame_sums_to_makespan_migration_heavy():
+    sim = Simulator(seed=5)
+    sim.obs.enable_tracing()
+    cluster = Cluster.virtual(sim, 4, 2)
+    spare = cluster.add_pm("spare")
+    mr = MapReduceCluster(sim, cluster.fabric, list(cluster.vms))
+    # migrate a busy VM mid-job so stop-and-copy pauses hit the path
+    vm = cluster.vms[0]
+    sim.schedule_at(2.0, lambda: LiveMigration(sim, cluster.fabric, vm, spare))
+    job = mr.run_job(make_job("Sort", input_gb=1.0, num_reducers=4))
+    assert job.done
+    report = blame_from_obs(sim.obs)
+    assert_exact_tiling(report)
+    # a virtualized run pays the virtualization tax somewhere
+    assert report["total"]["blame_s"]["virt_overhead"] > 0.0
+
+
+def test_blame_sums_to_makespan_chaos():
+    sim = Simulator(seed=9)
+    sim.obs.enable_tracing()
+    cluster = Cluster.native(sim, 6)
+    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    victim = cluster.native_contexts()[0]
+    schedule = FaultSchedule(
+        faults=(FaultSpec(kind="node_crash", at=3.0, duration=8.0,
+                          target=victim.name),),
+        horizon=200.0,
+    )
+    ChaosInjector(sim, mr, schedule).start()
+    job = mr.run_job(make_job("Sort", input_gb=1.0, num_reducers=4))
+    assert job.done
+    report = blame_from_obs(sim.obs)
+    assert_exact_tiling(report)
+    (doc,) = report["jobs"]
+    # the crash killed attempts / lost map outputs; the report must
+    # carry the causal instants even when re-runs dodge the final path
+    assert doc["causal"]["reexecute_instants"] >= 0
+    assert sim.obs.metrics.counters()["fault.node_failures"] == 1
+
+
+def test_virtual_run_splits_disk_and_virt_blame():
+    sim = Simulator(seed=3)
+    sim.obs.enable_tracing()
+    cluster = Cluster.virtual(sim, 4, 2)
+    mr = MapReduceCluster(sim, cluster.fabric, list(cluster.vms))
+    job = mr.run_job(make_job("Sort", input_gb=0.5, num_reducers=2))
+    assert job.done
+    report = blame_from_obs(sim.obs)
+    assert_exact_tiling(report)
+    totals = blame_summary(report)
+    assert totals["virt_overhead"] > 0.0
+    assert totals["disk_contention"] > 0.0
+    assert totals["compute"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_blame_report_byte_identical_across_same_seed_runs():
+    first = canonical_json(blame_from_obs(_native_run(FIFOScheduler()).obs))
+    second = canonical_json(blame_from_obs(_native_run(FIFOScheduler()).obs))
+    assert first == second
+
+
+def test_chaos_result_identical_tracing_on_or_off():
+    def one_run(tracing):
+        sim = Simulator(seed=9)
+        if tracing:
+            sim.obs.enable_tracing()
+        cluster = Cluster.native(sim, 6)
+        mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+        schedule = FaultSchedule(
+            faults=(FaultSpec(kind="node_crash", at=3.0, duration=8.0,
+                              target=cluster.native_contexts()[0].name),),
+            horizon=200.0,
+        )
+        ChaosInjector(sim, mr, schedule).start()
+        return mr.run_job(make_job("Sort", input_gb=1.0, num_reducers=4))
+
+    assert one_run(False).jct == one_run(True).jct
+
+
+# ----------------------------------------------------------------------
+# report structure, merging, degenerate inputs
+# ----------------------------------------------------------------------
+def test_empty_events_give_empty_report():
+    report = build_blame([])
+    assert report["jobs"] == [] and report["skipped"] == []
+    assert report["total"]["jobs"] == 0
+    assert report["total"]["makespan_s"] == 0.0
+    assert all(v == 0.0 for v in report["total"]["blame_pct"].values())
+    assert format_blame(report) == "(no completed jobs in trace)"
+    json.loads(canonical_json(report))  # serializable
+
+
+def test_unfinished_job_is_skipped_not_blamed():
+    sim = Simulator(seed=2)
+    sim.obs.enable_tracing()
+    cluster = Cluster.native(sim, 4)
+    mr = MapReduceCluster(sim, cluster.fabric, cluster.native_contexts())
+    mr.submit(make_job("Sort", input_gb=2.0, num_reducers=2))
+    sim.run(until=1.0)  # stop mid-flight: the job span is still open
+    report = blame_from_obs(sim.obs)
+    assert report["jobs"] == []
+    (skip,) = report["skipped"]
+    assert skip["state"] == "open"
+    mr.jt.shutdown()
+
+
+def test_merge_blame_reaccumulates_totals():
+    a = blame_from_obs(_native_run(FIFOScheduler(), seed=11).obs)
+    b = blame_from_obs(_native_run(FIFOScheduler(), seed=12).obs)
+    merged = merge_blame([a, b])
+    assert merged["total"]["jobs"] == a["total"]["jobs"] + b["total"]["jobs"]
+    assert merged["total"]["makespan_s"] == pytest.approx(
+        a["total"]["makespan_s"] + b["total"]["makespan_s"], abs=1e-6
+    )
+    for category in CATEGORIES:
+        assert merged["total"]["blame_s"][category] == pytest.approx(
+            a["total"]["blame_s"][category] + b["total"]["blame_s"][category],
+            abs=1e-6,
+        )
+
+
+def test_chrome_blame_events_extend_a_valid_trace():
+    sim = _native_run(FIFOScheduler())
+    events = collect_events(sim.obs)
+    report = build_blame(events)
+    doc = chrome_trace(events)
+    n_before = len(doc["traceEvents"])
+    extend_chrome_trace(doc, report)
+    assert validate_chrome_trace(doc) > n_before
+    extra = doc["traceEvents"][n_before:]
+    assert extra[0]["args"]["name"] == "critpath"
+    slice_names = {e["name"] for e in extra if e["ph"] == "X"}
+    assert slice_names <= set(CATEGORIES)
+    assert len(chrome_blame_events(report)) == len(extra)
+
+
+def test_format_blame_renders_tables():
+    report = blame_from_obs(_native_run(FIFOScheduler()).obs)
+    text = format_blame(report)
+    assert "attempts on path" in text
+    assert "compute" in text
+    assert "all 2 jobs" in text  # totals table for multi-job traces

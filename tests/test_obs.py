@@ -141,10 +141,37 @@ def test_histogram_summary_percentiles():
     summary = hist.summary()
     assert summary["count"] == 4.0
     assert summary["mean"] == pytest.approx(25.0)
+    assert summary["p10"] == pytest.approx(13.0)
     assert summary["p50"] == pytest.approx(25.0)
     assert summary["p95"] == pytest.approx(38.5)
     assert summary["max"] == 40.0
     assert registry.histogram("empty").summary()["p99"] == 0.0
+
+
+def test_empty_histogram_summary_is_nan_free_zeros():
+    import math
+
+    summary = MetricsRegistry().histogram("empty").summary()
+    assert set(summary) == {
+        "count", "mean", "min", "p10", "p50", "p95", "p99", "max"
+    }
+    assert all(v == 0.0 for v in summary.values())
+    assert not any(math.isnan(v) for v in summary.values())
+
+
+def test_histogram_ignores_non_finite_samples():
+    hist = MetricsRegistry().histogram("h")
+    hist.observe(float("nan"))
+    hist.observe(float("inf"))
+    hist.observe(5.0)
+    summary = hist.summary()
+    assert summary["count"] == 3.0  # raw sample count is preserved
+    assert summary["mean"] == 5.0 and summary["max"] == 5.0
+    assert summary["p50"] == 5.0
+    # nothing but junk -> zeros, never NaN
+    junk = MetricsRegistry().histogram("junk")
+    junk.observe(float("nan"))
+    assert all(v == 0.0 for k, v in junk.summary().items() if k != "count")
 
 
 def test_snapshot_shape():
@@ -381,3 +408,64 @@ def test_cli_trace_validates_chrome_json(tmp_path, capsys):
     write_chrome_trace(str(trace), obs)
     assert main(["trace", str(trace)]) == 0
     assert "valid Chrome trace" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# exporter determinism
+# ----------------------------------------------------------------------
+def _export_bytes(tmp_path, tag, sims):
+    """Chrome trace + JSONL bytes for every traced simulator, in order."""
+    blobs = []
+    for i, sim in enumerate(sims):
+        chrome = tmp_path / f"{tag}-{i}.json"
+        jsonl = tmp_path / f"{tag}-{i}.jsonl"
+        write_chrome_trace(str(chrome), sim.obs)
+        write_jsonl(str(jsonl), sim.obs)
+        blobs.append(chrome.read_bytes())
+        blobs.append(jsonl.read_bytes())
+    return blobs
+
+
+def test_exports_byte_identical_across_same_seed_runs(tmp_path):
+    first = _export_bytes(tmp_path, "a", [_run_traced_job(seed=13)[0]])
+    second = _export_bytes(tmp_path, "b", [_run_traced_job(seed=13)[0]])
+    assert first == second
+
+
+def test_exports_byte_identical_for_chaos_cell(tmp_path):
+    """fig08-under-faults: traced exports replay byte-for-byte."""
+    from repro.experiments.fig08_faults import run as run_faults
+    from repro.obs.capture import SimCapture
+
+    def one_run(tag):
+        with SimCapture(tracing=True) as capture:
+            run_faults(scale="tiny", seed=1, faults="poisson:node=0.02",
+                       deployments=("native",), waves=1)
+        assert capture.simulators
+        return _export_bytes(tmp_path, tag, capture.simulators)
+
+    assert one_run("a") == one_run("b")
+
+
+# ----------------------------------------------------------------------
+# top-span tables
+# ----------------------------------------------------------------------
+def test_top_spans_tables_and_empty_case():
+    from repro.obs.export import top_spans
+
+    sim, _job = _run_traced_job()
+    text = top_spans(collect_events(sim.obs), 3)
+    assert "slowest job spans" in text
+    assert "slowest task spans" in text
+    assert top_spans([], 3) == "(no spans)"
+
+
+def test_cli_trace_top_prints_slowest_spans(tmp_path, capsys):
+    from repro.cli import main
+
+    sim, _job = _run_traced_job()
+    events = tmp_path / "t.jsonl"
+    write_jsonl(str(events), sim.obs)
+    assert main(["trace", str(events), "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest task.stage spans" in out

@@ -276,3 +276,82 @@ def test_on_complete_unknown_job_raises():
     _, mr = build_mr()
     with pytest.raises(KeyError):
         mr.jt.on_complete(12345, lambda j: None)
+
+
+# ----------------------------------------------------------------------
+# blame sweeps (critical-path totals per cell, aggregated per group)
+# ----------------------------------------------------------------------
+def test_blame_flag_keeps_existing_cache_keys():
+    plain = cheap_spec().cells()[0]
+    assert "blame" not in plain.config()
+    blamed = SweepSpec(
+        figures=("fig01",), scales=("tiny",), seeds=(1,),
+        params=CHEAP_PARAMS, blame=True,
+    ).cells()[0]
+    assert blamed.config()["blame"] is True
+    # blame runs are cached under a different content address
+    assert cell_key(blamed.config()) != cell_key(plain.config())
+    assert "blame=True" not in plain.label()
+
+
+def test_execute_cell_attaches_blame_without_perturbing_result():
+    from repro.obs.critpath import CATEGORIES
+
+    config = {"figure": "fig10", "scale": "tiny", "seed": 1, "params": {}}
+    plain = execute_cell(config)
+    assert "blame" not in plain
+    blamed = execute_cell(dict(config, blame=True))
+    assert json.dumps(plain["result"], sort_keys=True) == json.dumps(
+        blamed["result"], sort_keys=True
+    )
+    blame = blamed["blame"]
+    assert blame["jobs"] >= 1
+    assert set(blame["blame_s"]) == set(CATEGORIES)
+    assert sum(blame["blame_s"].values()) == pytest.approx(
+        blame["makespan_s"], abs=1e-6
+    )
+
+
+def test_aggregate_summarizes_blame_and_wall_time():
+    def cell(seed):
+        return {
+            "figure": "f", "scale": "tiny", "seed": seed, "params": {},
+            "result": {"m": 1.0},
+            "metrics": {"counters": {}},
+            "wall_s": float(seed),
+            "blame": {
+                "jobs": 2,
+                "makespan_s": 10.0 * seed,
+                "blame_s": {"compute": 8.0 * seed, "shuffle_wait": 2.0 * seed},
+                "blame_pct": {"compute": 80.0, "shuffle_wait": 20.0},
+            },
+        }
+
+    (group,) = aggregate_cells([cell(1), cell(2)])
+    assert group["wall_s"]["mean"] == pytest.approx(1.5)
+    assert group["wall_s"]["p95"] > 0
+    assert group["blame"]["blame_s.compute"]["mean"] == pytest.approx(12.0)
+    assert group["blame"]["blame_pct.shuffle_wait"]["mean"] == pytest.approx(20.0)
+    assert group["blame"]["jobs"]["n"] == 2
+    # groups without blame cells carry no blame key
+    plain = dict(cell(1))
+    plain.pop("blame")
+    (bare,) = aggregate_cells([plain])
+    assert "blame" not in bare
+
+
+def test_run_sweep_with_blame_propagates_to_groups(tmp_path):
+    spec = SweepSpec(figures=("fig10",), scales=("tiny",), seeds=(1, 2),
+                     blame=True)
+    report = run_sweep(spec, cache=ResultCache(tmp_path / "c"))
+    assert report["spec"]["blame"] is True
+    for cell in report["cells"]:
+        assert cell["blame"]["jobs"] >= 1
+    (group,) = report["groups"]
+    assert group["blame"]["blame_s.compute"]["n"] == 2
+    # cached replay returns the blame data byte-for-byte
+    again = run_sweep(spec, cache=ResultCache(tmp_path / "c"))
+    assert again["totals"]["cache_hits"] == 2
+    assert json.dumps(again["cells"][0]["blame"], sort_keys=True) == json.dumps(
+        report["cells"][0]["blame"], sort_keys=True
+    )
