@@ -312,6 +312,20 @@ class ChaosInjector:
         self._nic_scales.setdefault(host, []).append(scale)
         self._apply_nic(host)
         record.injected_at = self.sim.now
+        obs = self.sim.obs
+        if obs.tracer.enabled:
+            # the fabric's per-host flow indexes make the blast radius
+            # cheap to report: every flow touching the degraded NIC
+            fabric = self.mr.fabric
+            obs.tracer.instant(
+                f"nic.degraded:{host}",
+                category="fault",
+                track="chaos",
+                host=host,
+                scale=scale,
+                flows_out=len(fabric.flows_from(host)),
+                flows_in=len(fabric.flows_to(host)),
+            )
 
         def undo() -> None:
             self._nic_scales[host].remove(scale)

@@ -661,7 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("cells", nargs="*",
                        help="cells to benchmark (default: headline fig01 "
-                       "fig02 fig08 fig10 chaos)")
+                       "fig02 fig08 fig10 chaos fabric)")
     bench.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
                        default="tiny")
     bench.add_argument("--seed", type=int, default=1)

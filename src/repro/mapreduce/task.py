@@ -544,13 +544,15 @@ class TaskAttempt:
             for h in self._handles
             if isinstance(h, Flow) and not h.done and h.src == host
         ]
+        if not doomed:
+            return 0
         for flow in doomed:
             self.jt.fabric.cancel_flow(flow)
-            self._handles.remove(flow)
             self._active_fetches -= 1
-        if doomed:
-            self._note_fetch_activity()
-            self._pump_fetches()
+        doomed_set = set(doomed)
+        self._handles = [h for h in self._handles if h not in doomed_set]
+        self._note_fetch_activity()
+        self._pump_fetches()
         return len(doomed)
 
     def _maybe_end_shuffle(self) -> None:

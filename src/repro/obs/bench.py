@@ -64,6 +64,7 @@ DEFAULT_CELLS: Tuple[str, ...] = (
     "fig08",
     "fig10",
     "chaos",
+    "fabric",
 )
 
 

@@ -5,6 +5,13 @@ virtual clock.  Everything in the reproduction (task execution, shuffle
 transfers, scheduler epochs, SLA probes, VM migrations) is driven by
 callbacks scheduled on a single simulator instance, which makes runs
 fully deterministic for a given seed.
+
+The queue keeps O(1) bookkeeping: a live-event counter maintained on
+schedule/cancel/pop (so :attr:`Simulator.pending` never scans) and a
+tombstone counter that triggers an in-place heap compaction when
+cancelled entries outnumber live ones -- heavy cancel traffic (flow
+completion events, speculative-kill races) would otherwise leave the
+heap mostly dead weight and tax every push/pop with log(dead) overhead.
 """
 
 from __future__ import annotations
@@ -32,10 +39,19 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: back-reference to the owning simulator while the event sits in
+    #: its queue; cleared on pop so a late cancel() cannot corrupt the
+    #: live/tombstone counters
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled()
 
 
 class Simulator:
@@ -50,6 +66,10 @@ class Simulator:
         ``random`` module, so identical seeds give identical runs.
     """
 
+    #: minimum queue size before cancel-triggered compaction kicks in;
+    #: below this the rebuild costs more than the tombstones
+    _COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
@@ -58,6 +78,17 @@ class Simulator:
         self._seq = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: non-cancelled events currently in the queue (O(1) `pending`)
+        self._live = 0
+        #: cancelled events still occupying heap slots
+        self._tombstones = 0
+        #: sort keys of cancelled events evicted by :meth:`_compact`.
+        #: They must keep participating in the run loop's head peeks --
+        #: the queue's historical lazy-deletion semantics (see
+        #: :meth:`run`) are observable, so compaction may reclaim the
+        #: Event objects but not forget their (time, priority, seq)
+        #: positions until the clock pops past them.
+        self._ghosts: List[tuple] = []
         #: per-subsystem event counts (callback module -> events); None
         #: until :meth:`enable_event_accounting` -- the bench profiler
         #: turns it on, normal runs keep the hot loop check-free
@@ -81,8 +112,9 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, priority, next(self._seq), callback)
+        event = Event(self.now + delay, priority, next(self._seq), callback, owner=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -94,6 +126,26 @@ class Simulator:
         """Schedule ``callback`` at absolute simulation ``time``."""
         return self.schedule(time - self.now, callback, priority)
 
+    def _schedule_abs(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule at an *exact* absolute timestamp.
+
+        Unlike :meth:`schedule_at` there is no ``now``-relative
+        round-trip (``now + (time - now)``), so the event fires at
+        precisely ``time`` -- what the recurrence grid of
+        :meth:`call_every` needs to stay drift-free.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past (time={time})")
+        event = Event(time, priority, next(self._seq), callback, owner=self)
+        heapq.heappush(self._queue, event)
+        self._live += 1
+        return event
+
     def call_every(
         self,
         interval: float,
@@ -103,20 +155,29 @@ class Simulator:
     ) -> Callable[[], None]:
         """Run ``callback`` periodically.
 
+        Firing times form the exact grid ``origin + n * interval``
+        (``origin`` is ``start``, or registration time plus one
+        interval).  Each next firing is computed from the origin rather
+        than the drifting clock, so float accumulation can neither push
+        a firing off-grid nor squeeze an extra one in just under
+        ``until``.
+
         Returns a canceller function; calling it stops the recurrence
         after the currently pending firing is cancelled.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
-        state: Dict[str, Any] = {"event": None, "stopped": False}
+        state: Dict[str, Any] = {"event": None, "stopped": False, "fired": 0}
+        origin = start if start is not None else self.now + interval
 
         def fire() -> None:
             if state["stopped"]:
                 return
             callback()
-            nxt = self.now + interval
+            state["fired"] += 1
+            nxt = origin + state["fired"] * interval
             if until is None or nxt <= until:
-                state["event"] = self.schedule(interval, fire)
+                state["event"] = self._schedule_abs(max(nxt, self.now), fire)
 
         first_delay = interval if start is None else max(0.0, start - self.now)
         state["event"] = self.schedule(first_delay, fire)
@@ -131,12 +192,60 @@ class Simulator:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Process the next event.  Returns False when queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+    def _note_cancelled(self) -> None:
+        """Counter upkeep for an in-queue cancellation (Event.cancel)."""
+        self._live -= 1
+        self._tombstones += 1
+        if self._tombstones > self._live and self._tombstones >= self._COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Evict cancelled entries from the heap, in place.
+
+        In place matters: the run loop keeps local aliases of the queue
+        and ghost lists.  Rebuilding preserves pop order exactly because
+        events are totally ordered by ``(time, priority, seq)`` -- the
+        heap's array layout is irrelevant to what pops next.  The dead
+        entries' sort keys move to :attr:`_ghosts` so the run loop keeps
+        honouring the lazy-deletion semantics (a tombstone at the head
+        still commits a step); only the Event objects and their callback
+        closures are reclaimed.
+        """
+        live: List[Event] = []
+        ghosts = self._ghosts
+        for event in self._queue:
             if event.cancelled:
+                event.owner = None
+                ghosts.append((event.time, event.priority, event.seq))
+            else:
+                live.append(event)
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        heapq.heapify(ghosts)
+        self._tombstones = 0
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when queue is empty.
+
+        Tombstones (cancelled entries, in-heap or ghost keys) are popped
+        transparently in merged key order until the first live event.
+        """
+        queue = self._queue
+        ghosts = self._ghosts
+        while queue or ghosts:
+            if ghosts and (
+                not queue
+                or ghosts[0] < (queue[0].time, queue[0].priority, queue[0].seq)
+            ):
+                heapq.heappop(ghosts)
                 continue
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                self._tombstones -= 1
+                event.owner = None
+                continue
+            self._live -= 1
+            event.owner = None
             if event.time < self.now - 1e-9:
                 raise RuntimeError("event queue went backwards in time")
             self.now = max(self.now, event.time)
@@ -157,21 +266,91 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Run until the queue drains, or ``until`` is reached."""
         self._stopped = False
+        if self._event_counts is not None:
+            # accounting pass (bench/trace runs): per-event module
+            # bookkeeping lives in step(), no need to be lean here
+            processed = 0
+            while not self._stopped:
+                if processed >= max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                queue = self._queue
+                ghosts = self._ghosts
+                if not queue and not ghosts:
+                    if until is not None:
+                        self.now = max(self.now, until)
+                    return
+                next_time = queue[0].time if queue else ghosts[0][0]
+                if ghosts and ghosts[0][0] < next_time:
+                    next_time = ghosts[0][0]
+                if until is not None and next_time > until:
+                    self.now = until
+                    return
+                if not self.step():
+                    return
+                processed += 1
+            return
+        # fast path: accounting branch hoisted out, pop loop inlined.
+        # The `until` bound is checked against the *raw* head -- a
+        # cancelled tombstone included -- and once an iteration commits,
+        # the next live event runs even if it lies past `until`.  That
+        # head-peek quirk is long-standing queue behaviour that lockstep
+        # experiment drivers (ramp-up run(until=...) phases) depend on;
+        # keep it, or same-seed runs change.
+        queue = self._queue  # compaction rewrites these lists in place
+        ghosts = self._ghosts
+        pop = heapq.heappop
         processed = 0
-        while not self._stopped:
-            if processed >= max_events:
-                raise RuntimeError(f"exceeded max_events={max_events}; runaway simulation?")
-            if not self._queue:
+        try:
+            while not self._stopped:
+                if processed >= max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                if not queue and not ghosts:
+                    if until is not None:
+                        self.now = max(self.now, until)
+                    return
                 if until is not None:
-                    self.now = max(self.now, until)
-                return
-            next_time = self._queue[0].time
-            if until is not None and next_time > until:
-                self.now = until
-                return
-            if not self.step():
-                return
-            processed += 1
+                    head_time = queue[0].time if queue else ghosts[0][0]
+                    if ghosts and ghosts[0][0] < head_time:
+                        head_time = ghosts[0][0]
+                    if head_time > until:
+                        self.now = until
+                        return
+                # committed: pop tombstones in merged key order, then
+                # run the first live event unconditionally
+                event = None
+                while True:
+                    if ghosts and (
+                        not queue
+                        or ghosts[0] < (queue[0].time, queue[0].priority, queue[0].seq)
+                    ):
+                        pop(ghosts)
+                        continue
+                    if not queue:
+                        break
+                    candidate = pop(queue)
+                    if candidate.cancelled:
+                        self._tombstones -= 1
+                        candidate.owner = None
+                        continue
+                    event = candidate
+                    break
+                if event is None:
+                    return  # only tombstones remained
+                self._live -= 1
+                event.owner = None
+                time = event.time
+                if time < self.now - 1e-9:
+                    raise RuntimeError("event queue went backwards in time")
+                if time > self.now:
+                    self.now = time
+                event.callback()
+                processed += 1
+        finally:
+            self.events_processed += processed
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
@@ -204,8 +383,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events waiting (including cancelled tombstones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events waiting in the queue.  O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}, pending={self.pending})"

@@ -11,12 +11,30 @@ compute VM talking to a datanode VM it shares a PM with) never touch the
 NIC: they ride a per-host loopback channel with much higher capacity,
 which is what makes the paper's Same-Host configuration beat Cross-Host
 (Figure 2(a)) despite having fewer cores per VM.
+
+Hot-path complexity
+-------------------
+Flow membership lives in per-link indexes (each host's ``up``/``down``
+flow sets plus per-host loopback in/out sets), so ``start_flow``,
+``cancel_flow``, flow completion and ``flows_from``/``flows_to`` never
+scan the global flow list.  A flow start/finish re-runs progressive
+filling only over the *connected component* of links actually touched
+by the changed flow -- flows on disjoint links keep their rates, which
+is exact because max-min allocations of disjoint components are
+independent.  The component fill itself (:func:`maxmin_flow_rates_fast`)
+maintains per-link unfixed-flow counters instead of rescanning every
+link's user list each round, dropping a fill from O(F·L) per round to
+O(F + L·rounds) total.  Progress advancement and the next-completion
+scan stay O(live flows) by necessity: the fluid model applies the same
+per-interval arithmetic to every flow with a nonzero rate, and replays
+must stay byte-identical (see docs/networking.md); stalled flows
+(partitioned, or starved by the fill) are skipped.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.engine import Event, Simulator
 
@@ -38,6 +56,7 @@ class Flow:
         "started_at",
         "is_loopback",
         "span",
+        "seq",
     )
 
     def __init__(
@@ -61,6 +80,7 @@ class Flow:
         self.started_at = started_at
         self.is_loopback = False
         self.span = None  # tracer span while tracing is enabled
+        self.seq = 0  # fabric-assigned start order (deterministic)
 
     def eta(self) -> float:
         if self.remaining <= _EPS:
@@ -75,7 +95,17 @@ class Flow:
 
 
 class _HostLinks:
-    __slots__ = ("up", "down", "loopback", "group", "nic_scale")
+    __slots__ = (
+        "up",
+        "down",
+        "loopback",
+        "group",
+        "nic_scale",
+        "up_flows",
+        "down_flows",
+        "loop_out",
+        "loop_in",
+    )
 
     def __init__(self, up: float, down: float, loopback: float, group: str) -> None:
         self.up = up
@@ -85,6 +115,13 @@ class _HostLinks:
         #: transient capacity multiplier in (0, 1] -- a degraded NIC
         #: (fault injection) rate-caps every flow crossing this host
         self.nic_scale = 1.0
+        # per-link flow membership (insertion-ordered sets); cross-host
+        # flows index under up_flows/down_flows, loopback flows under
+        # loop_out (by src) and loop_in (by dst)
+        self.up_flows: Dict[Flow, None] = {}
+        self.down_flows: Dict[Flow, None] = {}
+        self.loop_out: Dict[Flow, None] = {}
+        self.loop_in: Dict[Flow, None] = {}
 
 
 def maxmin_flow_rates(
@@ -93,7 +130,9 @@ def maxmin_flow_rates(
     """Progressive-filling max-min fair rates for cross-host flows.
 
     Each flow crosses ``links[src].up`` and ``links[dst].down``.  Pure
-    function for testability.
+    function kept as the executable specification: the fabric's indexed
+    fill (:func:`maxmin_flow_rates_fast`) must match it bit-for-bit,
+    which tests/test_properties assert on randomized inputs.
     """
     n = len(flows)
     rates = [0.0] * n
@@ -138,18 +177,104 @@ def maxmin_flow_rates(
     return rates
 
 
+def maxmin_flow_rates_fast(
+    flows: List[Flow], links: Dict[str, _HostLinks]
+) -> List[float]:
+    """Indexed progressive filling, bit-identical to the reference.
+
+    Same round structure and float operations as
+    :func:`maxmin_flow_rates` -- the most-constrained link is found with
+    the identical ``share < best - EPS`` first-wins comparison over the
+    same link insertion order -- but per-link *unfixed counts* are
+    maintained incrementally, so each round costs O(links) instead of
+    O(flows · links), and fixing a link's flows amortizes to O(flows)
+    over the whole fill.
+    """
+    n = len(flows)
+    rates = [0.0] * n
+    if n == 0:
+        return rates
+    cap: Dict[tuple, float] = {}
+    users: Dict[tuple, List[int]] = {}
+    active_n: Dict[tuple, int] = {}
+    src_keys: List[tuple] = [None] * n  # per flow: (src, "up") key
+    dst_keys: List[tuple] = [None] * n  # per flow: (dst, "down") key
+    for i, flow in enumerate(flows):
+        src_key = (flow.src, "up")
+        dst_key = (flow.dst, "down")
+        src_keys[i] = src_key
+        dst_keys[i] = dst_key
+        flow_ids = users.get(src_key)
+        if flow_ids is None:
+            host_links = links[flow.src]
+            cap[src_key] = host_links.up * host_links.nic_scale
+            users[src_key] = [i]
+            active_n[src_key] = 1
+        else:
+            flow_ids.append(i)
+            active_n[src_key] += 1
+        flow_ids = users.get(dst_key)
+        if flow_ids is None:
+            host_links = links[flow.dst]
+            cap[dst_key] = host_links.down * host_links.nic_scale
+            users[dst_key] = [i]
+            active_n[dst_key] = 1
+        else:
+            flow_ids.append(i)
+            active_n[dst_key] += 1
+    fixed = bytearray(n)
+    remaining = n
+    while remaining:
+        best_key = None
+        best_share = math.inf
+        for key, count in active_n.items():
+            if count == 0:
+                continue
+            share = cap[key] / count
+            if share < best_share - _EPS:
+                best_share = share
+                best_key = key
+        if best_key is None:
+            break
+        for i in users[best_key]:
+            if fixed[i]:
+                continue
+            fixed[i] = 1
+            remaining -= 1
+            rates[i] = best_share
+            # charge this flow's rate to its other link
+            key = src_keys[i]
+            if key != best_key:
+                residual = cap[key] - best_share
+                cap[key] = residual if residual > 0.0 else 0.0
+            active_n[key] -= 1
+            key = dst_keys[i]
+            if key != best_key:
+                residual = cap[key] - best_share
+                cap[key] = residual if residual > 0.0 else 0.0
+            active_n[key] -= 1
+        cap[best_key] = 0.0
+    return rates
+
+
 class NetworkFabric:
     """All NICs plus loopbacks of a cluster; owns active flow state."""
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._links: Dict[str, _HostLinks] = {}
-        self._flows: List[Flow] = []
-        self._loop_flows: List[Flow] = []
+        # insertion-ordered flow sets: O(1) add/remove, deterministic
+        # iteration in start order (the order the old list gave)
+        self._flows: Dict[Flow, None] = {}
+        self._loop_flows: Dict[Flow, None] = {}
+        self._flow_seq = 0
         self._last_update = sim.now
         self._completion_event: Optional[Event] = None
         self.bytes_transferred_mb = 0.0
         self.cross_host_mb = 0.0
+        #: (host, direction) links whose membership changed since the
+        #: last rebalance -- seeds for the incremental component fill
+        self._dirty: Set[tuple] = set()
         #: active network partition: a cut between two host sets.  Flows
         #: crossing the cut stall at rate 0 (TCP keeps retrying) until
         #: :meth:`heal_partition`; loopback flows are never cut.
@@ -182,7 +307,7 @@ class NetworkFabric:
             raise KeyError(f"unknown host {host!r}")
         self._advance()
         self._links[host].group = group
-        self._rebalance()
+        self._rebalance_full()
 
     def colocated(self, a: str, b: str) -> bool:
         return a == b or self._links[a].group == self._links[b].group
@@ -204,7 +329,7 @@ class NetworkFabric:
         self._advance()
         self._links[host].nic_scale = scale
         self.sim.obs.metrics.gauge(f"net.nic_scale.{host}").set(scale)
-        self._rebalance()
+        self._rebalance_full()
 
     def nic_scale(self, host: str) -> float:
         return self._links[host].nic_scale
@@ -228,7 +353,7 @@ class NetworkFabric:
         self._advance()
         self._partition = (a, b)
         self.sim.obs.metrics.counter("net.partitions").inc()
-        self._rebalance()
+        self._rebalance_full()
 
     def heal_partition(self) -> None:
         """Remove the active partition (no-op when none is active)."""
@@ -236,7 +361,7 @@ class NetworkFabric:
             return
         self._advance()
         self._partition = None
-        self._rebalance()
+        self._rebalance_full()
 
     @property
     def partitioned(self) -> bool:
@@ -250,8 +375,28 @@ class NetworkFabric:
         return (src in a and dst in b) or (src in b and dst in a)
 
     def flows_from(self, host: str) -> List[Flow]:
-        """Live cross-host flows whose source endpoint is ``host``."""
-        return [f for f in self._flows if f.src == host]
+        """Live flows whose source endpoint is ``host``.
+
+        Includes loopback flows (same-host / same-group transfers), so
+        chaos node-kills can see and cancel fetches from a dead host
+        even when the fetcher shares its physical machine.  Cross-host
+        flows first (start order), then loopback flows.  O(result).
+        """
+        links = self._links.get(host)
+        if links is None:
+            return []
+        return list(links.up_flows) + list(links.loop_out)
+
+    def flows_to(self, host: str) -> List[Flow]:
+        """Live flows whose destination endpoint is ``host``.
+
+        Mirror of :meth:`flows_from`: cross-host flows entering the
+        host's downlink plus loopback flows terminating on it.
+        """
+        links = self._links.get(host)
+        if links is None:
+            return []
+        return list(links.down_flows) + list(links.loop_in)
 
     def start_flow(
         self,
@@ -270,6 +415,7 @@ class NetworkFabric:
             raise ValueError("flow size must be non-negative")
         self._advance()
         flow = Flow(src, dst, mb, on_complete, efficiency, label, self.sim.now)
+        flow.seq = self._flow_seq = self._flow_seq + 1
         obs = self.sim.obs
         obs.metrics.counter("net.flows.started").inc()
         if mb <= _EPS:
@@ -281,9 +427,16 @@ class NetworkFabric:
             return flow
         if self.colocated(src, dst):
             flow.is_loopback = True
-            self._loop_flows.append(flow)
+            self._loop_flows[flow] = None
+            self._links[src].loop_out[flow] = None
+            self._links[dst].loop_in[flow] = None
+            self._dirty.add((src, "loop"))
         else:
-            self._flows.append(flow)
+            self._flows[flow] = None
+            self._links[src].up_flows[flow] = None
+            self._links[dst].down_flows[flow] = None
+            self._dirty.add((src, "up"))
+            self._dirty.add((dst, "down"))
         if obs.tracer.enabled:
             flow.span = obs.tracer.begin(
                 label or f"{src}->{dst}",
@@ -304,10 +457,10 @@ class NetworkFabric:
         if flow.done:
             return
         self._advance()
-        if flow in self._flows:
-            self._flows.remove(flow)
-        elif flow in self._loop_flows:
-            self._loop_flows.remove(flow)
+        # _advance may itself have completed (and detached) the flow;
+        # _detach tolerates that and the cancelled counter still ticks,
+        # matching the historical fall-through semantics
+        self._detach(flow)
         flow.done = True
         flow.rate = 0.0
         obs = self.sim.obs
@@ -324,6 +477,29 @@ class NetworkFabric:
     # ------------------------------------------------------------------
     # internals (same advance/rebalance discipline as ResourcePool)
     # ------------------------------------------------------------------
+    def _detach(self, flow: Flow) -> None:
+        """Unlink a flow from the global and per-link indexes, O(1).
+
+        Marks the flow's links dirty so the next rebalance re-fills the
+        component that just lost a member.  Safe to call on a flow that
+        was already detached.
+        """
+        if flow.is_loopback:
+            if flow not in self._loop_flows:
+                return
+            del self._loop_flows[flow]
+            del self._links[flow.src].loop_out[flow]
+            del self._links[flow.dst].loop_in[flow]
+            self._dirty.add((flow.src, "loop"))
+        else:
+            if flow not in self._flows:
+                return
+            del self._flows[flow]
+            del self._links[flow.src].up_flows[flow]
+            del self._links[flow.dst].down_flows[flow]
+            self._dirty.add((flow.src, "up"))
+            self._dirty.add((flow.dst, "down"))
+
     def _advance(self) -> None:
         now = self.sim.now
         dt = now - self._last_update
@@ -331,23 +507,49 @@ class NetworkFabric:
         if dt <= 0:
             return
         finished: List[Flow] = []
-        for flow in self._flows + self._loop_flows:
-            if flow.rate <= _EPS:
+        bytes_moved = self.bytes_transferred_mb
+        cross_moved = self.cross_host_mb
+        # cross-host flows in start order, then loopback flows: the same
+        # iteration (and hence completion-callback) order the flat list
+        # scan produced, with identical per-flow arithmetic
+        for flow in self._flows:
+            rate = flow.rate
+            if rate <= _EPS:
                 continue
-            moved = flow.rate * flow.efficiency * dt
-            moved = min(moved, flow.remaining)
-            flow.remaining -= moved
-            self.bytes_transferred_mb += moved
-            if not flow.is_loopback:
-                self.cross_host_mb += moved
+            moved = rate * flow.efficiency * dt
+            remaining = flow.remaining
+            if moved > remaining:
+                moved = remaining
+            flow.remaining = remaining - moved
+            bytes_moved += moved
+            cross_moved += moved
             if flow.remaining <= _EPS:
                 finished.append(flow)
+        for flow in self._loop_flows:
+            rate = flow.rate
+            if rate <= _EPS:
+                continue
+            moved = rate * flow.efficiency * dt
+            remaining = flow.remaining
+            if moved > remaining:
+                moved = remaining
+            flow.remaining = remaining - moved
+            bytes_moved += moved
+            if flow.remaining <= _EPS:
+                finished.append(flow)
+        self.bytes_transferred_mb = bytes_moved
+        self.cross_host_mb = cross_moved
+        if not finished:
+            return
         obs = self.sim.obs
         for flow in finished:
-            if flow in self._flows:
-                self._flows.remove(flow)
-            else:
-                self._loop_flows.remove(flow)
+            if flow.done:
+                # a sibling's completion callback in this same batch
+                # cancelled it (speculative-kill races); cancel_flow
+                # already detached it, so completing it again -- or
+                # blindly removing it -- would be wrong
+                continue
+            self._detach(flow)
             flow.done = True
             flow.rate = 0.0
             obs.metrics.counter("net.flows.completed").inc()
@@ -357,10 +559,75 @@ class NetworkFabric:
             if flow.on_complete is not None:
                 flow.on_complete()
 
+    def _component_flows(self, seeds: Set[tuple]) -> List[Flow]:
+        """Cross-host flows connected to the seed links, in start order.
+
+        Walks the per-link membership indexes: a flow joins the
+        component when any of its two links is reachable, and brings its
+        other link with it.  Loopback seeds are handled separately (the
+        loopback channel shares with nothing).
+        """
+        links = self._links
+        found: Dict[Flow, None] = {}
+        stack = [key for key in seeds if key[1] != "loop"]
+        seen: Set[tuple] = set(stack)
+        while stack:
+            host, direction = stack.pop()
+            flowset = (
+                links[host].up_flows
+                if direction == "up"
+                else links[host].down_flows
+            )
+            for flow in flowset:
+                if flow in found:
+                    continue
+                found[flow] = None
+                up_key = (flow.src, "up")
+                if up_key not in seen:
+                    seen.add(up_key)
+                    stack.append(up_key)
+                down_key = (flow.dst, "down")
+                if down_key not in seen:
+                    seen.add(down_key)
+                    stack.append(down_key)
+        return sorted(found, key=lambda f: f.seq)
+
     def _rebalance(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
+        """Incremental rebalance: re-fill only the touched component.
+
+        Falls back to a full rebalance while a partition is active (the
+        blocked-flow bookkeeping is global).  Max-min allocations of
+        link-disjoint flow sets are independent, so flows outside the
+        dirty component keep their (already exact) rates.
+        """
+        if self._partition is not None:
+            self._rebalance_full()
+            return
+        dirty = self._dirty
+        if dirty:
+            self._dirty = set()
+            component = self._component_flows(dirty)
+            if component:
+                rates = maxmin_flow_rates_fast(component, self._links)
+                for flow, rate in zip(component, rates):
+                    flow.rate = rate
+            # loopback channels are per-source-host and share with
+            # nothing else: recompute only the touched hosts
+            for host, direction in dirty:
+                if direction != "loop":
+                    continue
+                loop_out = self._links[host].loop_out
+                n = len(loop_out)
+                if n:
+                    share = self._links[host].loopback / n
+                    for flow in loop_out:
+                        flow.rate = share
+        self._reschedule_completion()
+
+    def _rebalance_full(self) -> None:
+        """Recompute every rate from scratch (partition / NIC / group
+        changes shift capacities globally, so no component is safe)."""
+        self._dirty.clear()
         if self._partition is not None:
             # flows crossing the cut stall; the rest share the links
             live = []
@@ -370,19 +637,46 @@ class NetworkFabric:
                 else:
                     live.append(flow)
         else:
-            live = self._flows
-        rates = maxmin_flow_rates(live, self._links)
-        next_eta = math.inf
+            live = list(self._flows)
+        rates = maxmin_flow_rates_fast(live, self._links)
         for flow, rate in zip(live, rates):
             flow.rate = rate
-            next_eta = min(next_eta, flow.eta())
         # loopback flows share the per-host loopback channel equally
         loop_users: Dict[str, int] = {}
         for flow in self._loop_flows:
             loop_users[flow.src] = loop_users.get(flow.src, 0) + 1
         for flow in self._loop_flows:
             flow.rate = self._links[flow.src].loopback / loop_users[flow.src]
-            next_eta = min(next_eta, flow.eta())
+        self._reschedule_completion()
+
+    def _reschedule_completion(self) -> None:
+        """Point the single completion event at the soonest finish.
+
+        The scan is O(live flows) but does the identical division the
+        historical full scan performed, so the scheduled instant -- and
+        with it every downstream timestamp -- is bit-exact with the
+        pre-indexed implementation.
+        """
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        next_eta = math.inf
+        for flow in self._flows:
+            rate = flow.rate * flow.efficiency
+            if rate <= _EPS:
+                continue
+            remaining = flow.remaining
+            eta = 0.0 if remaining <= _EPS else remaining / rate
+            if eta < next_eta:
+                next_eta = eta
+        for flow in self._loop_flows:
+            rate = flow.rate * flow.efficiency
+            if rate <= _EPS:
+                continue
+            remaining = flow.remaining
+            eta = 0.0 if remaining <= _EPS else remaining / rate
+            if eta < next_eta:
+                next_eta = eta
         if math.isfinite(next_eta):
             self._completion_event = self.sim.schedule(
                 max(0.0, next_eta), self._tick

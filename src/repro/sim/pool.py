@@ -268,6 +268,11 @@ class ResourcePool:
         self.busy_integral += total * dt
         self._last_update = now
         for entry in finished:
+            if entry.done:
+                # a sibling's completion callback in this same batch
+                # already removed it (e.g. a finished attempt killing
+                # its speculative twin) -- removing again would raise
+                continue
             self.entries.remove(entry)
             entry.done = True
             entry.rate = 0.0

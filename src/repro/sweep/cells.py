@@ -27,6 +27,7 @@ _CELL_MODULES: Dict[str, str] = {
     "fig11": "repro.experiments.fig11_tradeoff",
     "headline": "repro.experiments.headline",
     "chaos": "repro.experiments.fig08_faults",
+    "fabric": "repro.experiments.fabric_micro",
 }
 
 #: convenience aliases (sub-figure spellings, bare numbers)
@@ -34,6 +35,7 @@ _ALIASES: Dict[str, str] = {
     "fig1": "fig01", "fig2": "fig02", "fig5": "fig05", "fig6": "fig06",
     "fig8": "fig08", "fig9": "fig09",
     "fig08-faults": "chaos", "fig08_faults": "chaos", "faults": "chaos",
+    "fabric-micro": "fabric", "fabric_micro": "fabric", "net": "fabric",
 }
 
 

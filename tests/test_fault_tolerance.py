@@ -197,3 +197,58 @@ def test_failure_of_unknown_context_is_storage_only_noop():
     sim, cluster, mr = build()
     foreign = cluster.add_pm("foreign").native
     mr.jt.handle_node_failure(foreign)  # no tracker there: no-op
+
+
+def test_node_failure_tears_down_same_host_loopback_fetches():
+    """A reducer fetching a map output resident on its *own* host rides
+    the loopback channel.  flows_from must report those flows too, or a
+    chaos node-kill leaves the dead host's same-host fetch running --
+    it would keep transferring and deliver bytes that no longer exist."""
+    from repro.chaos import ChaosInjector, FaultSchedule, FaultSpec
+
+    sim, cluster, mr = build()
+    job = mr.submit(make_job("Sort", input_gb=1.0, num_reducers=6))
+    state = {}
+    original_start_flow = mr.fabric.start_flow
+
+    def kill_source_host():
+        host, flow = state["host"], state["flow"]
+        if flow.done:  # pragma: no cover - raced to completion
+            return
+        # the fabric's outbound index must see the loopback flow, or
+        # teardown paths keyed on flows_from skip it
+        assert flow in mr.fabric.flows_from(host)
+        assert flow in mr.fabric.flows_to(host)
+        victim = next(c for c in cluster.native_contexts() if c.host == host)
+        schedule = FaultSchedule(
+            faults=(
+                FaultSpec(
+                    kind="node_crash", at=sim.now, duration=5.0,
+                    target=victim.name,
+                ),
+            ),
+            horizon=10000.0,
+        )
+        injector = ChaosInjector(sim, mr, schedule)
+        injector.start()
+
+    def spying_start_flow(src_host, dst_host, mb, **kwargs):
+        flow = original_start_flow(src_host, dst_host, mb, **kwargs)
+        if (
+            "host" not in state
+            and src_host == dst_host
+            and str(kwargs.get("label", "")).endswith(":shuffle")
+        ):
+            state["host"] = src_host
+            state["flow"] = flow
+            sim.schedule(0.0, kill_source_host)
+        return flow
+
+    mr.fabric.start_flow = spying_start_flow
+    run_to_completion(sim, mr, job, timeout=20000.0)
+    assert job.done
+    assert "host" in state, "never saw a same-host shuffle fetch"
+    assert state["flow"].done
+    assert not mr.fabric.flows_from(state["host"])
+    counters = sim.obs.metrics.counters()
+    assert counters.get("fault.shuffle_fetches_cancelled", 0) >= 1

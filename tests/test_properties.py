@@ -171,3 +171,115 @@ def test_trace_mean_within_bounds(values):
     for i, v in enumerate(values):
         trace.record(float(i), v)
     assert min(values) - 1e-9 <= trace.mean() <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# indexed max-min fill and incremental rebalance vs the pure reference
+# ----------------------------------------------------------------------
+@given(
+    n_hosts=st.integers(min_value=2, max_value=6),
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=14,
+    ),
+    caps=st.lists(
+        st.floats(min_value=1.0, max_value=1000.0), min_size=6, max_size=6
+    ),
+    scales=st.lists(
+        st.floats(min_value=0.05, max_value=1.0), min_size=6, max_size=6
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_maxmin_fast_is_bit_identical_to_reference(n_hosts, pairs, caps, scales):
+    from repro.sim.network import maxmin_flow_rates_fast
+
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    flows = [
+        _F(hosts[a % n_hosts], hosts[b % n_hosts])
+        for a, b in pairs
+        if a % n_hosts != b % n_hosts
+    ]
+    if not flows:
+        return
+    links = {}
+    for i, h in enumerate(hosts):
+        links[h] = _HostLinks(caps[i], caps[(i + 1) % 6], 2000.0, h)
+        links[h].nic_scale = scales[i]
+    reference = maxmin_flow_rates(flows, links)
+    fast = maxmin_flow_rates_fast(flows, links)
+    assert fast == reference  # bit-for-bit, not approx
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_incremental_rebalance_matches_pure_reference(seed):
+    """Drive a fabric through a random start/cancel/advance/degrade/
+    partition/heal sequence; after every step the incremental component
+    fill must give every flow the exact rate the from-scratch reference
+    assigns (stalled cross-partition flows pinned at zero, loopback
+    flows sharing their host channel equally)."""
+    import random as random_mod
+
+    from repro.sim.network import NetworkFabric, maxmin_flow_rates
+
+    rng = random_mod.Random(seed)
+    sim = Simulator(seed=seed)
+    fabric = NetworkFabric(sim)
+    hosts = [f"h{i}" for i in range(rng.randint(2, 6))]
+    for host in hosts:
+        fabric.register_host(
+            host,
+            up_mbps=rng.choice([50.0, 100.0, 400.0]),
+            down_mbps=rng.choice([50.0, 100.0, 400.0]),
+            loopback_mbps=2000.0,
+        )
+    live = []
+
+    def check() -> None:
+        cross = [f for f in fabric._flows if not f.done]
+        expected_live = []
+        for flow in cross:
+            if fabric.is_blocked(flow.src, flow.dst):
+                assert flow.rate == 0.0
+            else:
+                expected_live.append(flow)
+        reference = maxmin_flow_rates(expected_live, fabric._links)
+        for flow, want in zip(expected_live, reference):
+            assert flow.rate == want  # bit-for-bit
+        loop_users = {}
+        for flow in fabric._loop_flows:
+            loop_users[flow.src] = loop_users.get(flow.src, 0) + 1
+        for flow in fabric._loop_flows:
+            assert flow.rate == fabric._links[flow.src].loopback / loop_users[flow.src]
+
+    for _ in range(40):
+        op = rng.random()
+        if op < 0.45 or not live:
+            src = rng.choice(hosts)
+            dst = rng.choice(hosts)
+            flow = fabric.start_flow(
+                src, dst, rng.uniform(5.0, 500.0), on_complete=lambda: None
+            )
+            live.append(flow)
+        elif op < 0.6:
+            flow = live.pop(rng.randrange(len(live)))
+            if not flow.done:
+                fabric.cancel_flow(flow)
+        elif op < 0.8:
+            sim.run(until=sim.now + rng.uniform(0.01, 2.0))
+        elif op < 0.9:
+            fabric.set_nic_scale(rng.choice(hosts), rng.choice([0.25, 0.5, 1.0]))
+        elif fabric.partitioned:
+            fabric.heal_partition()
+        elif len(hosts) >= 2:
+            cut = rng.randint(1, len(hosts) - 1)
+            shuffled = hosts[:]
+            rng.shuffle(shuffled)
+            fabric.partition(shuffled[:cut], shuffled[cut:])
+        live = [f for f in live if not f.done]
+        check()
+    sim.run()

@@ -208,3 +208,99 @@ def test_max_events_guard():
     sim.schedule(0.0, loop)
     with pytest.raises(RuntimeError):
         sim.run(max_events=100)
+
+
+# ----------------------------------------------------------------------
+# recurrence grid, tombstone compaction, run-until semantics
+# ----------------------------------------------------------------------
+def test_call_every_thousand_firings_stay_on_grid():
+    """Firing times are origin + n*interval computed from the recurrence
+    origin -- drifting-clock accumulation would push firings off-grid
+    (and move the final one off the exact `until` boundary)."""
+    sim = Simulator()
+    times = []
+    sim.call_every(0.1, lambda: times.append(sim.now), until=100.0)
+    sim.run()
+    assert len(times) == 1000
+    assert times == [0.1 + n * 0.1 for n in range(1000)]
+    assert times[-1] == 100.0
+
+
+def test_call_every_until_boundary_with_start():
+    sim = Simulator()
+    times = []
+    sim.call_every(0.1, lambda: times.append(sim.now), start=0.3, until=1.0)
+    sim.run()
+    assert times == [0.3 + n * 0.1 for n in range(8)]
+    assert times[-1] == 1.0
+
+
+def test_compaction_reclaims_cancelled_heap_entries():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    survivors = events[::10]
+    for i, event in enumerate(events):
+        if i % 10:
+            event.cancel()
+    # cancelled entries outnumber live ones by far; the heap must have
+    # been rebuilt rather than carrying ~180 tombstones
+    assert sim.pending == len(survivors)
+    assert len(sim._queue) < 100
+    fired = []
+    for event in survivors:
+        event.callback = lambda t=event.time: fired.append(t)
+    sim.run()
+    assert fired == sorted(e.time for e in survivors)
+
+
+def test_pending_is_exact_under_cancel_storm():
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i * 0.01, lambda: None) for i in range(500)]
+    for event in events[:499]:
+        event.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_run_until_head_tombstone_commits_next_event():
+    """Historical queue semantics: run(until) peeks the raw head.  A
+    cancelled entry at the head with time <= until commits a step that
+    then executes the next live event even past `until`.  Lockstep
+    experiment drivers (ramp-up run(until=...) phases) depend on this,
+    so it is load-bearing for same-seed reproducibility."""
+    sim = Simulator()
+    doomed = sim.schedule(3.0, lambda: None)
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    doomed.cancel()
+    sim.run(until=4.0)
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_head_tombstone_semantics_survive_compaction():
+    """Compaction evicts cancelled Event objects but must keep their
+    queue positions (ghost keys) participating in run(until) head
+    peeks, or compacted and uncompacted runs would diverge."""
+    sim = Simulator()
+    doomed = [sim.schedule(3.0, lambda: None) for _ in range(200)]
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    for event in doomed:
+        event.cancel()  # triggers compaction: tombstones >> live
+    assert len(sim._queue) < 64  # most Event objects reclaimed...
+    sim.run(until=4.0)
+    assert fired == [5.0]  # ...but the head peek still sees t=3.0
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_live_head():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run(until=4.0)
+    assert fired == []
+    assert sim.now == 4.0
+    sim.run()
+    assert fired == [5.0]

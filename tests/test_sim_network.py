@@ -149,3 +149,81 @@ def test_maxmin_unequal_links():
 
 def test_maxmin_no_flows():
     assert maxmin_flow_rates([], {}) == []
+
+
+# ----------------------------------------------------------------------
+# completion/cancel interactions and flow indexes
+# ----------------------------------------------------------------------
+def test_same_instant_finish_callback_cancels_sibling(sim):
+    """Two flows finish in the same _advance batch; the first one's
+    completion callback cancels the second (a finished shuffle attempt
+    killing its speculative twin).  The second's removal must not raise
+    and its on_complete must not fire."""
+    fabric = make_fabric(sim, hosts=("a", "b", "c", "d"))
+    calls = []
+    flows = {}
+
+    def first_done():
+        calls.append("first")
+        fabric.cancel_flow(flows["second"])
+
+    flows["first"] = fabric.start_flow("a", "b", 100.0, on_complete=first_done)
+    flows["second"] = fabric.start_flow(
+        "c", "d", 100.0, on_complete=lambda: calls.append("second")
+    )
+    sim.run()
+    assert calls == ["first"]
+    assert flows["second"].done
+    assert flows["second"].rate == 0.0
+    counters = sim.obs.metrics.counters()
+    assert counters["net.flows.completed"] == 1
+    assert counters["net.flows.cancelled"] == 1
+
+
+def test_same_instant_loopback_finish_callback_cancels_sibling(sim):
+    """Same race on the loopback channel, where the old removal fell
+    through to self._loop_flows.remove on an absent flow."""
+    fabric = make_fabric(sim)
+    calls = []
+    flows = {}
+
+    def first_done():
+        calls.append("first")
+        fabric.cancel_flow(flows["second"])
+
+    flows["first"] = fabric.start_flow("a", "a", 1000.0, on_complete=first_done)
+    flows["second"] = fabric.start_flow(
+        "b", "b", 1000.0, on_complete=lambda: calls.append("second")
+    )
+    sim.run()
+    assert calls == ["first"]
+    assert flows["second"].done
+
+
+def test_flows_from_includes_loopback(sim):
+    fabric = make_fabric(sim)
+    loop = fabric.start_flow("a", "a", 1000.0, on_complete=lambda: None)
+    cross = fabric.start_flow("a", "b", 100.0, on_complete=lambda: None)
+    inbound = fabric.start_flow("c", "a", 100.0, on_complete=lambda: None)
+    outgoing = fabric.flows_from("a")
+    assert cross in outgoing
+    assert loop in outgoing, "loopback flows must be visible to node-kill teardown"
+    assert inbound not in outgoing
+
+
+def test_flows_to_symmetry(sim):
+    fabric = make_fabric(sim)
+    loop = fabric.start_flow("a", "a", 1000.0, on_complete=lambda: None)
+    cross = fabric.start_flow("a", "b", 100.0, on_complete=lambda: None)
+    inbound = fabric.start_flow("c", "a", 100.0, on_complete=lambda: None)
+    incoming = fabric.flows_to("a")
+    assert inbound in incoming
+    assert loop in incoming
+    assert cross not in incoming
+    assert fabric.flows_to("b") == [cross]
+
+
+def test_flow_index_tolerates_unknown_host(sim):
+    fabric = make_fabric(sim)
+    assert fabric.flows_from("ghost") == []
+    assert fabric.flows_to("ghost") == []

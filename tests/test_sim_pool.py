@@ -190,3 +190,27 @@ def test_waterfill_zero_weight_gets_nothing():
 def test_waterfill_all_capped_leaves_slack():
     rates = waterfill(10.0, [1, 1], [2.0, 3.0])
     assert rates == [pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_same_instant_finish_callback_removes_sibling(sim):
+    """Two entries drain in the same _advance batch; the first one's
+    completion callback removes the second (the finished-attempt-kills-
+    speculative-twin race).  The removal must not raise and the
+    sibling's on_complete must not fire."""
+    pool = ResourcePool(sim, 10.0)
+    calls = []
+    entries = {}
+
+    def first_done():
+        calls.append("first")
+        pool.remove(entries["second"])
+
+    entries["first"] = pool.add(50.0, on_complete=first_done)
+    entries["second"] = pool.add(
+        50.0, on_complete=lambda: calls.append("second")
+    )
+    sim.run()
+    assert calls == ["first"]
+    assert entries["second"].done
+    assert entries["second"].rate == 0.0
+    assert pool.entries == []
