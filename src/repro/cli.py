@@ -314,6 +314,21 @@ def cmd_trace(args) -> int:
         validate_chrome_trace,
     )
 
+    if args.follow:
+        if not args.file.endswith(".jsonl"):
+            print("--follow only applies to .jsonl event/frame logs",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.live import _format_tail_line, tail_jsonl
+
+        try:
+            for event in tail_jsonl(
+                args.file, follow=True, idle_timeout_s=args.idle_timeout
+            ):
+                print(_format_tail_line(event), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
     if args.file.endswith(".jsonl"):
         events = read_jsonl(args.file)
         print(summarize_events(events))
@@ -513,6 +528,69 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_live(args) -> int:
+    from repro.experiments.live import run as run_live
+
+    result = run_live(
+        scale=_scale(args.scale),
+        seed=args.seed,
+        horizon_s=args.horizon,
+        mean_interarrival_s=args.mean_interarrival,
+        diurnal_period_s=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+        interactive_clients=args.clients,
+        sample_interval_s=args.sample_interval or None,
+        max_active=args.max_active,
+        blame=args.blame,
+        frames_out=args.frames_out or None,
+    )
+    if result["interrupted"]:
+        print("interrupted; summarizing the virtual time reached so far")
+    print(f"live run: scale={result['scale']} seed={result['seed']} "
+          f"reached {result['reached_s']:.0f}s of {result['horizon_s']:.0f}s")
+    print(f"  jobs         {result['completed']} completed / "
+          f"{result['submitted']} submitted / {result['arrived']} arrived "
+          f"({result['shed']} shed, {result['active_at_end']} still active)")
+    print(f"  mean JCT     {result['mean_jct_s']:10.1f} s")
+    sla = result["sla"]
+    print(f"  latency      p95 {sla['p95_ms']:8.1f} ms over "
+          f"{sla['count']} probes ({sla['violations']} SLA violations)")
+    print(f"  frames       {result['frames_emitted']} emitted")
+    print(f"  digest       {result['digest'][:16]}")
+    if args.frames_out:
+        print(f"  wrote        {args.frames_out} "
+              f"({result['frames_written']} frames)")
+        print(f"  next         repro serve {args.frames_out}")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"  wrote        {args.json_out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import os
+
+    from repro.obs.serve import FrameServer
+
+    if not os.path.exists(args.frames) and not args.follow:
+        print(f"no such frame file: {args.frames} "
+              "(use --follow to wait for a live run to create it)",
+              file=sys.stderr)
+        return 2
+    server = FrameServer(
+        args.frames, host=args.host, port=args.port,
+        follow=args.follow, rate=args.rate,
+    )
+    mode = "following" if args.follow else "replaying"
+    print(f"{mode} {args.frames} ({len(server.store)} frames) "
+          f"on {server.url} -- Ctrl-C to stop")
+    server.serve_forever()
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.core.profiling import JobProfiler
 
@@ -576,6 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the critical-path blame breakdown")
     trace.add_argument("--blame-out", metavar="FILE", default=None,
                        help="write the blame report as canonical JSON")
+    trace.add_argument("--follow", "-f", action="store_true",
+                       help="tail a .jsonl events/frames file as it is "
+                       "written by a live run (Ctrl-C to stop)")
+    trace.add_argument("--idle-timeout", type=float, metavar="S", default=None,
+                       help="with --follow, exit after S seconds without "
+                       "new data (default: follow forever)")
     trace.set_defaults(func=cmd_trace)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
@@ -675,6 +759,63 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.2,
                        help="allowed fractional events/sec regression")
     bench.set_defaults(func=cmd_bench)
+
+    live = sub.add_parser(
+        "live",
+        help="open-ended live run: continuous arrivals until a horizon",
+        description="Run the repro.experiments.live driver: continuous "
+        "Poisson (optionally diurnal) MapReduce arrivals plus interactive "
+        "load on a hybrid cluster, sampled into telemetry frames until a "
+        "virtual-time horizon or Ctrl-C.  Stream the frames with "
+        "'repro serve' or 'repro trace --follow'.",
+    )
+    live.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
+                      default="tiny")
+    live.add_argument("--seed", type=int, default=7)
+    live.add_argument("--horizon", type=float, default=1800.0,
+                      help="virtual seconds to run")
+    live.add_argument("--mean-interarrival", type=float, default=180.0,
+                      help="mean seconds between job arrivals")
+    live.add_argument("--diurnal-period", type=float, default=0.0,
+                      help="sinusoid period for the arrival rate and "
+                      "interactive load (0 = flat Poisson)")
+    live.add_argument("--diurnal-amplitude", type=float, default=0.6)
+    live.add_argument("--clients", type=int, default=150,
+                      help="interactive service client count (midpoint "
+                      "when diurnal)")
+    live.add_argument("--sample-interval", type=float, default=15.0,
+                      help="virtual seconds between telemetry frames "
+                      "(0 disables sampling)")
+    live.add_argument("--max-active", type=int, default=4,
+                      help="shed arrivals beyond this many in-flight jobs")
+    live.add_argument("--blame", action="store_true",
+                      help="trace the run and attach critical-path blame "
+                      "deltas to every frame")
+    live.add_argument("--frames-out", metavar="FILE",
+                      default="live_frames.jsonl",
+                      help="JSONL frame stream path ('' disables)")
+    live.add_argument("--json-out", metavar="FILE", default=None,
+                      help="also write the run summary as JSON")
+    live.set_defaults(func=cmd_live)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a frame stream as a live SSE dashboard (stdlib only)",
+        description="Serve the single-file HTML dashboard for a JSONL "
+        "frame file: GET / for the page, /events for the Server-Sent "
+        "Events stream, /snapshot for the latest frame as JSON.  With "
+        "--follow the server tails the file while a live run writes it.",
+    )
+    serve.add_argument("frames", help="frame file written by repro live "
+                       "(or any JsonlFrameSink)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8341)
+    serve.add_argument("--follow", "-f", action="store_true",
+                       help="keep event streams open and tail the file")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="replay pacing in virtual seconds per wall "
+                       "second (0 = replay instantly)")
+    serve.set_defaults(func=cmd_serve)
 
     prof = sub.add_parser("profile", help="train the Phase I profiler")
     prof.add_argument("benchmark")

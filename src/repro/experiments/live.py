@@ -1,0 +1,215 @@
+"""Open-ended live-cluster driver: continuous arrivals until a horizon.
+
+Every figure cell submits a *finite* workload and waits for it to
+drain.  This driver instead models the datacenter-as-a-service regime
+the ROADMAP calls for: MapReduce jobs arrive continuously (Poisson, or
+Poisson modulated by a diurnal sinusoid), an interactive service rides
+the same hybrid cluster, and the run ends at a virtual-time horizon --
+or at Ctrl-C, which still produces a complete summary.
+
+A :class:`~repro.obs.live.LiveSampler` streams telemetry frames while
+the run is in flight (``frames_out`` writes them as JSONL for ``repro
+serve`` / ``repro trace --follow``).  Sampling is read-only: the result
+digest is byte-identical for any ``sample_interval_s``, including
+sampling disabled (pinned by ``tests/test_live.py``).
+
+As a sweep cell (``repro sweep --figure live``) the function stays pure
+-- leave ``frames_out`` unset and the run touches no files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Dict, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.common import TINY, resolve_scale
+from repro.interactive.loadgen import ConstantLoad, SinusoidLoad
+from repro.interactive.service import RUBIS, InteractiveService
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.obs.live import JsonlFrameSink, LiveSampler
+from repro.sim.engine import Simulator
+from repro.workloads.generator import WorkloadGenerator
+
+#: arrival rate floor during diurnal troughs (fraction of the base rate)
+MIN_RATE_FRACTION = 0.05
+
+
+def result_digest(completions: list) -> str:
+    """Stable digest of the job-completion record (determinism tests)."""
+    return hashlib.sha256(
+        json.dumps(completions, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def run(
+    scale=TINY,
+    seed: int = 7,
+    horizon_s: float = 1800.0,
+    mean_interarrival_s: float = 180.0,
+    diurnal_period_s: float = 0.0,
+    diurnal_amplitude: float = 0.6,
+    interactive_clients: int = 150,
+    sample_interval_s: Optional[float] = 15.0,
+    sla_window_s: Optional[float] = None,
+    max_active: int = 4,
+    ring_size: int = 4096,
+    blame: bool = False,
+    frames_out: Optional[str] = None,
+    sampler_sinks=(),
+) -> Dict[str, object]:
+    """One open-ended hybrid-cluster run; returns a JSON-able summary.
+
+    ``diurnal_period_s > 0`` modulates the Poisson arrival rate by
+    ``1 + diurnal_amplitude * sin(2*pi*t/period)`` and swings the
+    interactive client count over the same wave.  ``max_active`` sheds
+    arrivals while that many jobs are in flight (counted in the
+    summary), bounding queue growth when the horizon outpaces the
+    cluster.  ``sampler_sinks`` attaches extra frame sinks (callables);
+    ``blame`` enables tracing and per-frame critical-path deltas.
+
+    KeyboardInterrupt (SIGINT) during the run is caught: the summary is
+    produced from whatever virtual time was reached, with
+    ``interrupted`` set.
+    """
+    scale = resolve_scale(scale)
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if mean_interarrival_s <= 0:
+        raise ValueError("mean inter-arrival must be positive")
+    if max_active < 1:
+        raise ValueError("max_active must be >= 1")
+
+    sim = Simulator(seed=seed)
+    if blame:
+        sim.obs.enable_tracing()
+
+    # hybrid deployment (fig08 idiom): half the PMs run Hadoop natively,
+    # the other half host 3 VMs each -- one interactive VM per host, the
+    # rest batch VMs that join the same MapReduce cluster.
+    native_pms = scale.pms // 2
+    virt_pms = scale.pms - native_pms
+    cluster = Cluster.hybrid(sim, native_pms, virt_pms, vms_per_pm=3)
+    vms = cluster.vms
+    service_vms = [vms[i] for i in range(0, len(vms), 3)]
+    batch_vms = [vm for vm in vms if vm not in service_vms]
+    contexts = cluster.native_contexts() + batch_vms
+    mr = MapReduceCluster(sim, cluster.fabric, contexts)
+
+    if diurnal_period_s > 0:
+        load = SinusoidLoad(
+            low=max(0, int(interactive_clients * (1.0 - diurnal_amplitude))),
+            high=int(interactive_clients * (1.0 + diurnal_amplitude)),
+            period_s=diurnal_period_s,
+        )
+    else:
+        load = ConstantLoad(interactive_clients)
+    service = InteractiveService(sim, "rubis", RUBIS, service_vms, load)
+    service.start()
+
+    # open arrivals: each arrival schedules the next, so the stream has
+    # no horizon-sized precomputed list and SIGINT loses nothing.  Both
+    # streams are labelled forks -- arrivals never perturb job noise.
+    gen = WorkloadGenerator(
+        sim.fork_rng("live.workload"), input_scale=scale.input_fraction
+    )
+    arrival_rng = sim.fork_rng("live.arrivals")
+    base_rate = 1.0 / mean_interarrival_s
+    state = {"arrived": 0, "shed": 0, "submitted": 0}
+    completions: list = []
+
+    def rate_at(t: float) -> float:
+        if diurnal_period_s <= 0:
+            return base_rate
+        wave = 1.0 + diurnal_amplitude * math.sin(
+            2.0 * math.pi * t / diurnal_period_s
+        )
+        return base_rate * max(MIN_RATE_FRACTION, wave)
+
+    def on_done(job) -> None:
+        completions.append(
+            {
+                "name": job.spec.name,
+                "submitted_s": round(job.submit_time, 6),
+                "jct_s": round(job.jct, 6),
+            }
+        )
+
+    def arrive() -> None:
+        if sim.now >= horizon_s:
+            return
+        state["arrived"] += 1
+        if len(mr.jt.active_jobs) >= max_active:
+            state["shed"] += 1
+        else:
+            state["submitted"] += 1
+            spec = gen.next_batch_job(num_reducers=max(2, len(contexts) // 2))
+            mr.jt.submit(spec, on_complete=on_done)
+        schedule_next()
+
+    def schedule_next() -> None:
+        gap = arrival_rng.expovariate(rate_at(sim.now))
+        sim.schedule(gap, arrive)
+
+    schedule_next()
+
+    sampler = None
+    frame_sink = None
+    if sample_interval_s:
+        sampler = LiveSampler(
+            sim,
+            interval_s=sample_interval_s,
+            ring_size=ring_size,
+            cluster=cluster,
+            mr=mr,
+            services=[service],
+            sla_window_s=sla_window_s,
+            blame=blame,
+        )
+        if frames_out:
+            frame_sink = JsonlFrameSink(frames_out)
+            sampler.add_sink(frame_sink)
+        for sink in sampler_sinks:
+            sampler.add_sink(sink)
+        sampler.start()
+
+    interrupted = False
+    try:
+        sim.run(until=horizon_s)
+    except KeyboardInterrupt:
+        interrupted = True
+
+    # teardown strictly after the run: stopping periodic machinery
+    # mid-run would leave queue tombstones that perturb `until` bounds
+    reached_s = sim.now
+    if sampler is not None:
+        sampler.stop()
+    if frame_sink is not None:
+        frame_sink.close()
+    service.stop()
+    jobs_left = len(mr.jt.active_jobs)
+    mr.jt.shutdown()
+
+    jcts = [c["jct_s"] for c in completions]
+    result: Dict[str, object] = {
+        "scale": scale.name,
+        "seed": seed,
+        "horizon_s": round(horizon_s, 6),
+        "reached_s": round(reached_s, 6),
+        "interrupted": interrupted,
+        "arrived": state["arrived"],
+        "shed": state["shed"],
+        "submitted": state["submitted"],
+        "completed": len(completions),
+        "active_at_end": jobs_left,
+        "mean_jct_s": round(sum(jcts) / len(jcts), 6) if jcts else 0.0,
+        "digest": result_digest(completions),
+        "sla": service.latency_summary(),
+        "frames_emitted": sampler.frames_emitted if sampler else 0,
+    }
+    if frame_sink is not None:
+        result["frames_written"] = frame_sink.frames_written
+        result["frames_path"] = frames_out
+    return result

@@ -243,6 +243,34 @@ class InteractiveService:
         """Latency percentile (ms) over all probe epochs so far."""
         return self.latency_trace.percentile(q)
 
+    def latency_summary(
+        self, window_s: Optional[float] = None, now: Optional[float] = None
+    ) -> dict:
+        """Latency statistics as a JSON-able, NaN-free dict.
+
+        With ``window_s`` only probe epochs inside ``[now - window_s,
+        now]`` count (``now`` defaults to the simulation clock) -- the
+        sliding window the live telemetry frames carry.  A window with
+        no completed requests is well-defined: ``count`` is 0 and every
+        statistic is 0.0, never NaN, so summaries stay byte-comparable.
+        """
+        trace = self.latency_trace
+        if window_s is not None:
+            if window_s <= 0:
+                raise ValueError("window must be positive")
+            end = self.sim.now if now is None else now
+            trace = trace.window(end - window_s, end)
+        count = len(trace)
+        return {
+            "count": count,
+            "mean_ms": round(trace.mean(), 6),
+            "p50_ms": round(trace.percentile(50.0), 6),
+            "p95_ms": round(trace.percentile(95.0), 6),
+            "p99_ms": round(trace.percentile(99.0), 6),
+            "max_ms": round(trace.max(), 6),
+            "violations": sum(1 for v in trace.values if v > self.sla_ms),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"InteractiveService({self.name!r}, vms={len(self.vms)}, "

@@ -95,3 +95,19 @@ class SLAMonitor:
 
     def violations(self) -> List[SLAEvent]:
         return [e for e in self.events if e.violated]
+
+    def summary(
+        self, window_s: Optional[float] = None, now: Optional[float] = None
+    ) -> dict:
+        """Per-service latency summaries keyed by service name.
+
+        Delegates to each service's
+        :meth:`~repro.interactive.service.InteractiveService.latency_summary`,
+        so a window with no completed requests is well-defined (count 0,
+        all-zero statistics, never NaN) instead of degenerate
+        percentiles.
+        """
+        return {
+            service.name: service.latency_summary(window_s=window_s, now=now)
+            for service in self.services
+        }

@@ -53,29 +53,45 @@ def format_series(name: str, points: Dict[object, Number]) -> str:
     return f"{name}: {body}"
 
 
-def sla_latency_summary(services: Sequence[object]) -> str:
-    """Latency table (mean / p50 / p95 / p99 ms, SLA, %violated) for
-    :class:`~repro.interactive.service.InteractiveService` objects.
+def sla_latency_summary(
+    services: Sequence[object],
+    window_s: Union[float, None] = None,
+    now: Union[float, None] = None,
+) -> str:
+    """Latency table (count, mean / p50 / p95 / p99 ms, SLA, %violated)
+    for :class:`~repro.interactive.service.InteractiveService` objects.
 
     Tail percentiles are the numbers SLAs are written against; means
-    hide exactly the excursions the IPS exists to prevent.
+    hide exactly the excursions the IPS exists to prevent.  With
+    ``window_s`` the statistics cover only the probe epochs inside
+    ``[now - window_s, now]``.  A service (or window) with no completed
+    requests reports ``count`` 0 and all-zero, NaN-free statistics --
+    the ``count`` column is what distinguishes "no data" from a genuine
+    0 ms latency.
     """
     rows = []
     for svc in services:
-        trace = svc.latency_trace
+        stats = svc.latency_summary(window_s=window_s, now=now)
+        violated_pct = (
+            100.0 * stats["violations"] / stats["count"] if stats["count"] else 0.0
+        )
         rows.append(
             [
                 svc.name,
-                trace.mean() if len(trace) else 0.0,
-                trace.percentile(50.0),
-                trace.percentile(95.0),
-                trace.percentile(99.0),
+                stats["count"],
+                stats["mean_ms"],
+                stats["p50_ms"],
+                stats["p95_ms"],
+                stats["p99_ms"],
                 svc.sla_ms,
-                100.0 * svc.violation_fraction(),
+                violated_pct,
             ]
         )
     return format_table(
-        ["service", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "sla_ms", "viol_%"],
+        [
+            "service", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+            "sla_ms", "viol_%",
+        ],
         rows,
         title="interactive service latency",
     )

@@ -33,6 +33,7 @@ from repro.obs.capture import (
     active_capture,
     active_sim_capture,
 )
+from repro.obs.live import JsonlFrameSink, LiveSampler, MemorySink
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
@@ -82,4 +83,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveSampler",
+    "JsonlFrameSink",
+    "MemorySink",
 ]

@@ -257,6 +257,11 @@ def summarize_events(events: List[dict]) -> str:
                          [[s, n] for s, n in sorted(series.items())],
                          title="time series")
         )
+    frames = [e for e in events if e["type"] == "frame"]
+    if frames:
+        from repro.obs.live import summarize_frames
+
+        sections.append("live frames\n" + summarize_frames(frames))
     if not sections:
         return "(empty trace)"
     return "\n\n".join(sections)

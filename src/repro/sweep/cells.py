@@ -28,6 +28,7 @@ _CELL_MODULES: Dict[str, str] = {
     "headline": "repro.experiments.headline",
     "chaos": "repro.experiments.fig08_faults",
     "fabric": "repro.experiments.fabric_micro",
+    "live": "repro.experiments.live",
 }
 
 #: convenience aliases (sub-figure spellings, bare numbers)
@@ -36,6 +37,7 @@ _ALIASES: Dict[str, str] = {
     "fig8": "fig08", "fig9": "fig09",
     "fig08-faults": "chaos", "fig08_faults": "chaos", "faults": "chaos",
     "fabric-micro": "fabric", "fabric_micro": "fabric", "net": "fabric",
+    "live-driver": "live", "streaming": "live",
 }
 
 
