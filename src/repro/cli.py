@@ -243,6 +243,11 @@ def cmd_list(args) -> int:
 
     print("\nsweep cells (repro sweep <cell> --seeds ...):")
     print("  " + " ".join(cell_names()))
+    from repro.zoo import policy_names, workload_names
+
+    print("\nscheduler zoo (repro zoo --policies ...):")
+    print("  policies:  " + " ".join(policy_names()))
+    print("  workloads: " + " ".join(workload_names()))
     print("\nthe full per-figure harness lives in benchmarks/ "
           "(pytest benchmarks/ --benchmark-only -s)")
     return 0
@@ -591,6 +596,26 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_zoo(args) -> int:
+    from repro.zoo import format_study, run_study, write_study_json
+
+    try:
+        report = run_study(
+            scale=args.scale,
+            seeds=args.seeds,
+            policies=args.policies or None,
+            workloads=args.workloads or None,
+        )
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(format_study(report))
+    if args.out:
+        write_study_json(args.out, report)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.core.profiling import JobProfiler
 
@@ -816,6 +841,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay pacing in virtual seconds per wall "
                        "second (0 = replay instantly)")
     serve.set_defaults(func=cmd_serve)
+
+    zoo = sub.add_parser(
+        "zoo",
+        help="race every scheduling policy head-to-head; explain the wins",
+        description="Run the scheduler-zoo study: a fixed workload x seed "
+        "grid across every registered policy (FIFO, Fair, Capacity, delay "
+        "scheduling, DRF, SRTF, the job-driven algorithms), ranked per "
+        "workload against the FIFO baseline with critical-path blame "
+        "deltas explaining each policy's win or loss.  Writes the "
+        "canonical repro.zoo/1 report.",
+    )
+    zoo.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
+                     default="tiny")
+    zoo.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    zoo.add_argument("--policies", nargs="+", default=None,
+                     metavar="SPEC",
+                     help="policy specs to race (default: every registered "
+                     "policy); kwargs via name:k=v,... e.g. delay:skip_budget=8")
+    zoo.add_argument("--workloads", nargs="+", default=None,
+                     choices=("mixed", "shuffle"),
+                     help="workload cells (default: all)")
+    zoo.add_argument("--out", default="zoo_report.json",
+                     help="study report path ('' disables)")
+    zoo.set_defaults(func=cmd_zoo)
 
     prof = sub.add_parser("profile", help="train the Phase I profiler")
     prof.add_argument("benchmark")

@@ -1,0 +1,21 @@
+"""Sweep cell for the scheduler zoo (`repro sweep zoo`).
+
+One cell = one (workload, policy, seed) race from
+:mod:`repro.zoo.study`, so the sweep grid machinery (content-addressed
+cache, multi-seed aggregation, worker processes) applies directly:
+
+    repro sweep zoo --scales tiny --seeds 1 2 \
+        --param policy=fifo,fair,delay,drf --param workload=mixed,shuffle
+
+For the full cross-policy rankings with blame explanations, use
+``repro zoo`` instead, which runs the whole grid in-process and emits
+the ``repro.zoo/1`` study report.
+"""
+
+from __future__ import annotations
+
+
+def run(scale, seed: int, policy: str = "fifo", workload: str = "mixed") -> dict:
+    from repro.zoo.study import run_cell
+
+    return run_cell(scale, seed, policy, workload)

@@ -7,7 +7,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.hdfs.filesystem import HDFS
 from repro.mapreduce.job import Job, JobSpec, JobState
-from repro.mapreduce.schedulers import FairScheduler, SlotScheduler
+from repro.mapreduce.schedulers import SKIP_JOB, FairScheduler, SlotScheduler
 from repro.mapreduce.task import Task, TaskAttempt, TaskKind
 from repro.mapreduce.tracker import TaskTracker
 from repro.sim.engine import Simulator
@@ -80,6 +80,7 @@ class JobTracker:
         self._attempt_ids = itertools.count(1)
         self._callbacks: Dict[int, Callable[[Job], None]] = {}
         self._dispatch_pending = False
+        self._policy_skipped = False
         self.speculative_launched = 0
         if speculation:
             self._spec_cancel = sim.call_every(
@@ -249,6 +250,7 @@ class JobTracker:
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
+        self._policy_skipped = False
         progress = True
         while progress:
             progress = False
@@ -256,6 +258,12 @@ class JobTracker:
                 progress = True
             if self._assign_one(TaskKind.REDUCE):
                 progress = True
+        if self._policy_skipped:
+            # a policy declined every offer it got this round (delay
+            # scheduling waiting out a locality miss).  Re-offer after
+            # another heartbeat so finite skip budgets always drain even
+            # when no completion event would wake the dispatcher.
+            self.request_dispatch()
 
     def _runnable_tasks(self, job: Job, kind: TaskKind) -> List[Task]:
         if kind is TaskKind.MAP:
@@ -291,11 +299,27 @@ class JobTracker:
             free,
             key=lambda t: (load_by_pm[id(t.context.pm)], len(t.running), t.name),
         )
-        for job in self.scheduler.order(self.active_jobs):
+        scheduler = self.scheduler
+        view = None
+        if scheduler.policy_aware:
+            # built lazily: legacy orderings never pay for the snapshot
+            from repro.zoo.policy import ClusterView
+
+            view = ClusterView(self, kind)
+        for job in scheduler.order(self.active_jobs, view):
             tasks = self._runnable_tasks(job, kind)
             if not tasks:
                 continue
-            task = self._pick_task_for(tracker, tasks, kind)
+            task = None
+            if view is not None:
+                task = scheduler.pick_task(job, tasks, tracker, kind, view)
+                if task is SKIP_JOB:
+                    # the policy declines this offer (e.g. delay
+                    # scheduling waiting for locality): next job in order
+                    self._policy_skipped = True
+                    continue
+            if task is None:
+                task = self._pick_task_for(tracker, tasks, kind)
             self._launch(task, tracker)
             return True
         return False

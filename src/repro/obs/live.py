@@ -333,6 +333,7 @@ class LiveSampler:
                     if task.runnable_since is not None:
                         ages.append(now - task.runnable_since)
         return {
+            "policy": jt.scheduler.name,
             "active_jobs": len(jt.active_jobs),
             "finished_jobs": len(jt.finished_jobs),
             "pending_maps": pending_maps,

@@ -322,6 +322,7 @@ header h1 { font-size: 16px; font-weight: 600; margin: 0; }
 .panel { background: var(--surface-1); border: 1px solid var(--border);
          border-radius: 6px; padding: 10px 12px; position: relative; }
 .panel h2 { font-size: 13px; font-weight: 600; margin: 0 0 6px; }
+.panel h2 .muted { color: var(--text-muted); font-weight: 400; }
 .panel canvas { width: 100%; height: 180px; display: block; }
 .legend { display: flex; flex-wrap: wrap; gap: 10px; margin-top: 6px;
           font-size: 11px; color: var(--text-secondary); }
@@ -357,7 +358,7 @@ th { color: var(--text-secondary); font-weight: 600; }
   <div class="panel"><h2>Interactive latency (windowed p95, ms)</h2>
     <canvas id="sla"></canvas><div class="legend" id="sla-legend"></div>
     <div class="tooltip" id="sla-tip"></div></div>
-  <div class="panel"><h2>Scheduler queues</h2>
+  <div class="panel"><h2>Scheduler queues <span id="queues-policy" class="muted"></span></h2>
     <canvas id="queues"></canvas><div class="legend" id="queues-legend"></div>
     <div class="tooltip" id="queues-tip"></div></div>
   <div class="panel"><h2>Critical-path blame (total s)</h2>
@@ -573,6 +574,9 @@ function redraw() {
   queueChart.state.yMax = 2;
   queueChart.draw();
   legend('queues-legend', queueChart.state.series);
+  const policy = (last.queues || {}).policy;
+  document.getElementById('queues-policy').textContent =
+    policy ? `— policy: ${policy}` : '';
 
   drawBlame();
 

@@ -29,6 +29,7 @@ _CELL_MODULES: Dict[str, str] = {
     "chaos": "repro.experiments.fig08_faults",
     "fabric": "repro.experiments.fabric_micro",
     "live": "repro.experiments.live",
+    "zoo": "repro.experiments.zoo",
 }
 
 #: convenience aliases (sub-figure spellings, bare numbers)
@@ -38,6 +39,7 @@ _ALIASES: Dict[str, str] = {
     "fig08-faults": "chaos", "fig08_faults": "chaos", "faults": "chaos",
     "fabric-micro": "fabric", "fabric_micro": "fabric", "net": "fabric",
     "live-driver": "live", "streaming": "live",
+    "scheduler-zoo": "zoo", "schedulers": "zoo",
 }
 
 

@@ -1,0 +1,43 @@
+"""repro.zoo: the scheduler zoo.
+
+A pluggable policy framework over the JobTracker's slot-ordering seam
+(:class:`~repro.zoo.policy.SchedulingPolicy` + the string-keyed
+:mod:`~repro.zoo.registry`), a set of policies beyond FIFO/Fair/Capacity
+(delay scheduling, DRF, SRTF, the job-driven map/reduce algorithms of
+arXiv 1808.08040), and a head-to-head study runner
+(:mod:`~repro.zoo.study`) that races every registered policy over fixed
+workload cells and explains the wins with critical-path blame.
+"""
+
+from repro.zoo.policy import ClusterView, SchedulingPolicy
+from repro.zoo.registry import (
+    create_policy,
+    parse_policy_spec,
+    policy_names,
+    register_policy,
+)
+from repro.zoo.study import (
+    STUDY_SCHEMA,
+    WORKLOADS,
+    format_study,
+    run_study,
+    study_canonical_json,
+    workload_names,
+    write_study_json,
+)
+
+__all__ = [
+    "ClusterView",
+    "SchedulingPolicy",
+    "create_policy",
+    "parse_policy_spec",
+    "policy_names",
+    "register_policy",
+    "STUDY_SCHEMA",
+    "WORKLOADS",
+    "format_study",
+    "run_study",
+    "study_canonical_json",
+    "workload_names",
+    "write_study_json",
+]

@@ -62,6 +62,57 @@ def test_capacity_scheduler_elastic_when_alone(sim):
     mr.jt.shutdown()
 
 
+def test_capacity_default_share_validation():
+    with pytest.raises(ValueError):
+        CapacityScheduler({"a": 0.5}, default_share=-0.1)
+    with pytest.raises(ValueError):
+        CapacityScheduler({"a": 0.5}, default_share=1.5)
+    assert CapacityScheduler({"a": 0.5}, default_share=0.2).default_share == 0.2
+
+
+class _FakeTask:
+    """Just enough Task surface for running_task_counts."""
+
+    def __init__(self, n_running: int) -> None:
+        self.running_attempts = [object()] * n_running
+
+
+def _fake_job(job_id, name, submit=0.0, running=0):
+    from repro.mapreduce.job import Job
+
+    job = Job(job_id, make_job("Sort", input_gb=1, name=name), submit)
+    if running:
+        job.map_tasks.append(_FakeTask(running))
+    return job
+
+
+def test_capacity_unknown_queue_gets_token_share():
+    # prod is over its 0.9 guarantee; the unknown queue holds nothing,
+    # so its default_share deficit puts it first -- no starvation
+    scheduler = CapacityScheduler({"prod": 0.9}, default_share=0.05)
+    prod = _fake_job(1, "prod:etl", running=10)
+    misc = _fake_job(2, "misc:probe", submit=1.0)
+    assert scheduler.order([prod, misc])[0] is misc
+
+
+def test_capacity_spillover_yields_to_reclaiming_queue():
+    # adhoc borrowed the idle cluster; the moment prod has demand and is
+    # below its guarantee, the deficit ordering pushes the borrower back
+    scheduler = CapacityScheduler({"prod": 0.7, "adhoc": 0.3})
+    adhoc = _fake_job(1, "adhoc:borrower", running=8)
+    prod = _fake_job(2, "prod:reclaim", submit=5.0)
+    assert scheduler.order([adhoc, prod])[0] is prod
+
+
+def test_capacity_queue_tie_broken_by_name_not_insertion():
+    scheduler = CapacityScheduler({"a": 0.4, "b": 0.4})
+    job_b = _fake_job(1, "b:first-submitted")
+    job_a = _fake_job(2, "a:second-submitted", submit=1.0)
+    # equal deficits: queue name decides, independent of insertion order
+    assert scheduler.order([job_b, job_a]) == [job_a, job_b]
+    assert scheduler.order([job_a, job_b]) == [job_a, job_b]
+
+
 def test_poisson_arrivals_shape():
     gen = WorkloadGenerator(random.Random(4))
     arrivals = gen.poisson_arrivals(50, mean_interarrival_s=30.0)
