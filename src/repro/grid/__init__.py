@@ -1,0 +1,48 @@
+"""``repro.grid``: a distributed sweep service.
+
+Runs thousands-of-cell studies -- any :class:`~repro.sweep.spec.SweepSpec`,
+including the ``zoo`` and ``chaos`` cells -- across a fleet of
+long-lived worker processes:
+
+- the :class:`~repro.grid.coordinator.Coordinator` shards a spec into
+  work units keyed by the existing content address, dispatches them
+  over a stdlib line-delimited-JSON socket protocol
+  (:mod:`repro.grid.protocol`), requeues units on worker death or
+  heartbeat timeout with bounded, backed-off retries, and streams
+  partial aggregates as ``repro.grid/1`` frames;
+- the :mod:`~repro.grid.worker` loop executes cells through the same
+  ``execute_cell`` as a local sweep, so every cell document is
+  byte-identical wherever it ran;
+- completion is idempotent through the content-addressed
+  :class:`~repro.sweep.cache.ResultCache`, so a killed coordinator or
+  worker resumes exactly where it left off (``repro grid run
+  --resume``), and the final report's canonical projection matches a
+  single-process ``repro sweep`` byte for byte.
+
+Entry points: :func:`~repro.grid.service.run_grid` (coordinator + local
+fleet in one call, the ``repro grid run`` command) and
+:func:`~repro.grid.worker.run_worker` (``repro grid worker`` on any
+machine that can reach the coordinator).
+"""
+
+from repro.grid.coordinator import Coordinator, shard_spec
+from repro.grid.progress import GridProgress, StreamingStats
+from repro.grid.protocol import PROTOCOL, ProtocolError
+from repro.grid.service import run_grid, spawn_worker
+from repro.grid.state import StudyState, WorkUnit
+from repro.grid.worker import parse_address, run_worker
+
+__all__ = [
+    "PROTOCOL",
+    "ProtocolError",
+    "Coordinator",
+    "StudyState",
+    "WorkUnit",
+    "GridProgress",
+    "StreamingStats",
+    "shard_spec",
+    "run_grid",
+    "run_worker",
+    "spawn_worker",
+    "parse_address",
+]

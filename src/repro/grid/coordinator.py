@@ -1,0 +1,385 @@
+"""The grid coordinator: shard a study, dispatch it, survive chaos.
+
+A :class:`Coordinator` expands a :class:`~repro.sweep.spec.SweepSpec`
+into :class:`~repro.grid.state.WorkUnit` shards keyed by the existing
+content address (:func:`~repro.sweep.cache.cell_key`), listens on a TCP
+socket speaking the :mod:`repro.grid.protocol` line-JSON protocol, and
+hands units to whichever workers connect.  It applies to itself the
+chaos discipline we apply to simulated clusters:
+
+- **worker death** (socket EOF) and **heartbeat timeout** both requeue
+  the worker's inflight unit with exponential backoff;
+- **bounded retries**: a unit that keeps dying becomes a failed-cell
+  record after ``max_attempts`` instead of hanging the study;
+- **idempotent completion**: every result is written to the
+  content-addressed :class:`~repro.sweep.cache.ResultCache` *before*
+  being marked done, so a killed coordinator restarted with
+  ``--resume`` (or plainly re-run) satisfies finished cells from cache
+  and re-executes exactly zero of them; duplicated completions of a
+  requeued cell are dropped (the documents are byte-identical by the
+  determinism contract);
+- **streaming aggregates**: progress frames
+  (:mod:`repro.grid.progress`) flow to a sink ``repro serve`` can
+  follow.
+
+The final report has the same cell/group shape as ``run_sweep`` --
+records in spec grid order, cross-seed aggregation -- so its
+:func:`~repro.sweep.aggregate.canonical_report` projection is
+byte-identical to a single-process sweep of the same spec.
+
+Threading model: one acceptor thread, one blocking session thread per
+worker connection, and the caller's thread in :meth:`run` acting as
+watchdog + frame emitter.  All shared state (:class:`StudyState`, the
+progress aggregates, the cache writes) mutates under one lock; session
+sockets have no read timeout -- heartbeats wake them, and shutdown
+closes the sockets to unblock them (a timed-out buffered ``readline``
+can silently drop a partial frame, so timeouts are the one thing the
+sessions must never use).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import repro
+from repro.grid import protocol
+from repro.grid.progress import GridProgress
+from repro.grid.state import StudyState, WorkUnit
+from repro.sweep.aggregate import aggregate_cells
+from repro.sweep.cache import ResultCache, cell_key
+from repro.sweep.spec import SweepSpec
+
+REPORT_SCHEMA = "repro.grid/1"
+
+
+def shard_spec(spec: SweepSpec) -> List[WorkUnit]:
+    """Expand a spec into work units keyed by cell content address."""
+    units = []
+    for index, cell in enumerate(spec.cells()):
+        config = cell.config()
+        units.append(
+            WorkUnit(
+                index=index,
+                key=cell_key(config),
+                config=config,
+                label=cell.label(),
+            )
+        )
+    return units
+
+
+class Coordinator:
+    """Run one sharded study over a fleet of protocol workers."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        cache: ResultCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        use_cache: bool = True,
+        max_attempts: int = 3,
+        backoff_s: float = 0.5,
+        heartbeat_s: float = 2.0,
+        heartbeat_timeout_s: float = 10.0,
+        frame_interval_s: float = 1.0,
+        frame_sink: Optional[Callable[[dict], None]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.spec = spec
+        self.cache = cache
+        self.use_cache = use_cache
+        self.heartbeat_s = heartbeat_s
+        self.frame_interval_s = frame_interval_s
+        self.progress_cb = progress
+        self.clock = clock
+        self.state = StudyState(
+            shard_spec(spec),
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+        )
+        self.study_id = (
+            self.state.units[0].key[:12] if self.state.units else "empty"
+        )
+        self._lock = threading.Lock()
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self._sessions: List[threading.Thread] = []
+        self._session_socks: Dict[str, socket.socket] = {}
+        self._accept_thread: Optional[threading.Thread] = None
+        self._shutting_down = False
+        self._started_monotonic: Optional[float] = None
+        self._started_wall: Optional[float] = None
+        self.progress = GridProgress(
+            self.study_id, len(self.state.units), sink=frame_sink
+        )
+        self.resumed_from_cache = 0
+
+    # -- addresses -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._listener.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Coordinator":
+        """Scan the cache for finished cells, then start accepting."""
+        self._started_monotonic = self.clock()
+        self._started_wall = time.perf_counter()
+        if self.use_cache:
+            for unit in self.state.units:
+                cached = self.cache.get(unit.key)
+                if cached is not None:
+                    with self._lock:
+                        self.state.complete(unit.key, cached, cache_hit=True)
+                        self.progress.observe(self.state.records[unit.index])
+                    self.resumed_from_cache += 1
+                    self._log(f"{unit.label}  cached")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="grid-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def run(self) -> dict:
+        """Drive the study to completion; returns the final report."""
+        if self._started_monotonic is None:
+            self.start()
+        next_frame = self.clock()
+        while True:
+            with self._lock:
+                finished = self.state.finished
+            now = self.clock()
+            if now >= next_frame or finished:
+                self._emit_frame(done=finished)
+                next_frame = now + self.frame_interval_s
+            if finished:
+                break
+            self._reap_stale(now)
+            time.sleep(0.05)
+        self._shutdown_sessions()
+        return self.report()
+
+    def stop(self) -> None:
+        """Abort: close the listener and every session (unit states stay)."""
+        self._shutdown_sessions()
+
+    def _shutdown_sessions(self) -> None:
+        self._shutting_down = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        # closing the sockets unblocks sessions parked in readline
+        with self._lock:
+            socks = list(self._session_socks.values())
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + 3.0
+        for thread in self._sessions:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    # -- the accept / session machinery --------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutting_down:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._session, args=(sock,),
+                name="grid-session", daemon=True,
+            )
+            self._sessions.append(thread)
+            thread.start()
+
+    def _session(self, sock: socket.socket) -> None:
+        """One worker connection: hello/welcome, then the work loop."""
+        rfh = sock.makefile("rb")
+        wfh = sock.makefile("wb")
+        worker_id = None
+        try:
+            msg = protocol.recv_msg(rfh)
+            if msg is None or msg.get("type") != protocol.HELLO:
+                return
+            if msg.get("protocol") != protocol.PROTOCOL:
+                protocol.send_msg(wfh, protocol.error(
+                    "", "", 0,
+                    f"protocol mismatch: coordinator speaks "
+                    f"{protocol.PROTOCOL}",
+                ))
+                return
+            worker_id = str(msg["worker"])
+            with self._lock:
+                self.state.register_worker(worker_id, self.clock())
+                self._session_socks[worker_id] = sock
+            protocol.send_msg(
+                wfh, protocol.welcome(self.study_id, self.heartbeat_s)
+            )
+            self._log(f"worker {worker_id} joined")
+            while not self._shutting_down:
+                msg = protocol.recv_msg(rfh)
+                if msg is None:
+                    break  # EOF: the worker died or left
+                self._dispatch(wfh, worker_id, msg)
+        except (protocol.ProtocolError, OSError, ValueError, KeyError):
+            pass  # lost mid-frame; the lose_worker path below requeues
+        finally:
+            if worker_id is not None:
+                with self._lock:
+                    self._session_socks.pop(worker_id, None)
+                    if self._shutting_down or self.state.finished:
+                        self.state.retire_worker(worker_id)
+                        requeued = None  # orderly exit, not a loss
+                    else:
+                        requeued = self.state.lose_worker(
+                            worker_id, self.clock(), "connection closed"
+                        )
+                if requeued is not None:
+                    self._log(f"worker {worker_id} lost; requeued a cell")
+            for closer in (rfh, wfh, sock):
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def _dispatch(self, wfh, worker_id: str, msg: dict) -> None:
+        kind = msg.get("type")
+        if kind == protocol.HEARTBEAT:
+            with self._lock:
+                self.state.beat(worker_id, self.clock())
+        elif kind == protocol.READY:
+            self._offer(wfh, worker_id)
+        elif kind == protocol.RESULT:
+            key = str(msg["key"])
+            doc = msg["doc"]
+            with self._lock:
+                unit = self.state.unit_for(key)
+                # cache first: completion must be durable before it is
+                # observable, or a crash here would lose the cell
+                self.cache.put(key, doc)
+                fresh = self.state.complete(key, doc)
+                if fresh:
+                    self.progress.observe(self.state.records[unit.index])
+            if fresh:
+                self._log(f"{unit.label}  {doc.get('wall_s', 0.0):.1f}s "
+                          f"[{worker_id}]")
+        elif kind == protocol.ERROR:
+            key = str(msg["key"])
+            reason = str(msg.get("error", "worker error"))
+            with self._lock:
+                self.state.fail(key, self.clock(), reason)
+            self._log(f"cell {key[:12]} failed on {worker_id}: {reason}")
+        else:
+            raise protocol.ProtocolError(f"unexpected {kind!r} from worker")
+
+    def _offer(self, wfh, worker_id: str) -> None:
+        with self._lock:
+            finished = self.state.finished
+            if finished or self._shutting_down:
+                unit = None
+                retry = None
+            else:
+                unit = self.state.claim(worker_id, self.clock())
+                retry = None if unit else self.state.retry_after(self.clock())
+        if unit is not None:
+            protocol.send_msg(
+                wfh,
+                protocol.work(unit.key, unit.config, unit.attempts,
+                              unit.label),
+            )
+        elif finished or self._shutting_down:
+            protocol.send_msg(wfh, protocol.shutdown())
+        elif retry is not None:
+            # only backoff-gated units remain; tell the worker when to ask
+            protocol.send_msg(wfh, protocol.drain(max(0.05, retry)))
+        else:
+            # everything is inflight elsewhere; poll for requeues
+            protocol.send_msg(wfh, protocol.drain(0.2))
+
+    # -- watchdog + frames ---------------------------------------------
+    def _reap_stale(self, now: float) -> None:
+        with self._lock:
+            stale = self.state.stale_workers(now)
+            socks = {w: self._session_socks.pop(w, None) for w in stale}
+            for worker_id in stale:
+                self.state.lose_worker(worker_id, now, "heartbeat timeout")
+        for worker_id, sock in socks.items():
+            self._log(f"worker {worker_id} heartbeat timed out")
+            if sock is not None:
+                try:  # drop the zombie so a late result cannot arrive
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _emit_frame(self, done: bool = False) -> dict:
+        elapsed = self.clock() - (self._started_monotonic or 0.0)
+        with self._lock:
+            counts = self.state.counts()
+            return self.progress.frame(elapsed, counts, done=done)
+
+    def _log(self, line: str) -> None:
+        if self.progress_cb is not None:
+            self.progress_cb(line)
+
+    # -- the final report ----------------------------------------------
+    def report(self, workers: Optional[int] = None) -> dict:
+        """Assemble the study report (``run_sweep``-shaped + grid extras)."""
+        counts = self.state.counts()
+        completed = self.state.completed_records()
+        cells = [r for r in self.state.records if r is not None]
+        elapsed = (
+            time.perf_counter() - self._started_wall
+            if self._started_wall is not None
+            else 0.0
+        )
+        return {
+            "schema": REPORT_SCHEMA,
+            "repro_version": repro.__version__,
+            "spec": self.spec.describe(),
+            "jobs": workers if workers is not None else counts["workers"],
+            "totals": {
+                "cells": counts["cells"],
+                "executed": counts["executed"],
+                "cache_hits": counts["cache_hits"],
+                "failed": counts["failed"],
+                "wall_s_sum": sum(c.get("wall_s", 0.0) for c in completed),
+                "elapsed_s": elapsed,
+            },
+            "grid": {
+                "study": self.study_id,
+                "protocol": protocol.PROTOCOL,
+                "requeues": counts["requeues"],
+                "duplicates": counts["duplicates"],
+                "workers_lost": counts["workers_lost"],
+                "resumed_from_cache": self.resumed_from_cache,
+                "frames_emitted": self.progress.seq,
+            },
+            "cells": cells,
+            "groups": aggregate_cells(completed),
+            "failures": self.state.failure_records(),
+        }

@@ -1,0 +1,137 @@
+"""Line-delimited JSON protocol between the grid coordinator and workers.
+
+One message per line -- canonical JSON (sorted keys, no embedded
+newlines) terminated by ``\\n`` -- over any binary file-like pair, so
+the same framing works across a TCP socket (``socket.makefile``) or a
+pipe.  Every message is a dict with a ``type`` field; unknown extra
+fields are ignored by both sides, which is what lets ``repro.grid/1``
+grow compatibly.
+
+Message flow::
+
+    worker                          coordinator
+    ------                          -----------
+    hello {worker, pid, protocol} ->
+                                  <- welcome {protocol, study, heartbeat_s}
+    ready {worker}                ->
+                                  <- work {key, config, attempt, label}
+    heartbeat {worker, key}       ->              (every heartbeat_s,
+    heartbeat {worker, key}       ->               from a side thread)
+    result {worker, key, attempt, doc} ->
+    ready {worker}                ->
+                                  <- drain {retry_after_s}   (backoff gate)
+    ready {worker}                ->
+                                  <- shutdown {}             (study done)
+
+A cell that raises is reported with ``error {worker, key, attempt,
+error, traceback}`` instead of ``result``; the coordinator decides
+whether to requeue (with backoff) or record the cell as failed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: frame + wire schema identifier
+PROTOCOL = "repro.grid/1"
+
+# message types
+HELLO = "hello"
+WELCOME = "welcome"
+READY = "ready"
+WORK = "work"
+DRAIN = "drain"
+SHUTDOWN = "shutdown"
+RESULT = "result"
+ERROR = "error"
+HEARTBEAT = "heartbeat"
+
+
+class ProtocolError(Exception):
+    """A malformed or out-of-protocol message was received."""
+
+
+def send_msg(fh, msg: dict) -> None:
+    """Write one message as a single canonical JSON line and flush."""
+    line = json.dumps(msg, sort_keys=True, separators=(",", ":"))
+    fh.write(line.encode("utf-8") + b"\n")
+    fh.flush()
+
+
+def recv_msg(fh) -> Optional[dict]:
+    """Read one message; ``None`` means the peer closed the stream."""
+    line = fh.readline()
+    if not line:
+        return None
+    try:
+        msg = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparsable frame: {line[:80]!r}") from exc
+    if not isinstance(msg, dict) or "type" not in msg:
+        raise ProtocolError(f"frame without a type: {msg!r}")
+    return msg
+
+
+# ----------------------------------------------------------------------
+# message constructors (the documented shapes, in one place)
+# ----------------------------------------------------------------------
+def hello(worker: str, pid: int) -> dict:
+    return {"type": HELLO, "protocol": PROTOCOL, "worker": worker, "pid": pid}
+
+
+def welcome(study: str, heartbeat_s: float) -> dict:
+    return {
+        "type": WELCOME,
+        "protocol": PROTOCOL,
+        "study": study,
+        "heartbeat_s": heartbeat_s,
+    }
+
+
+def ready(worker: str) -> dict:
+    return {"type": READY, "worker": worker}
+
+
+def work(key: str, config: dict, attempt: int, label: str) -> dict:
+    return {
+        "type": WORK,
+        "key": key,
+        "config": config,
+        "attempt": attempt,
+        "label": label,
+    }
+
+
+def drain(retry_after_s: float) -> dict:
+    return {"type": DRAIN, "retry_after_s": retry_after_s}
+
+
+def shutdown() -> dict:
+    return {"type": SHUTDOWN}
+
+
+def result(worker: str, key: str, attempt: int, doc: dict) -> dict:
+    return {
+        "type": RESULT,
+        "worker": worker,
+        "key": key,
+        "attempt": attempt,
+        "doc": doc,
+    }
+
+
+def error(worker: str, key: str, attempt: int, message: str,
+          traceback_text: str = "") -> dict:
+    return {
+        "type": ERROR,
+        "worker": worker,
+        "key": key,
+        "attempt": attempt,
+        "error": message,
+        "traceback": traceback_text,
+    }
+
+
+def heartbeat(worker: str, key: Optional[str]) -> dict:
+    return {"type": HEARTBEAT, "worker": worker, "key": key}

@@ -1,0 +1,153 @@
+"""Study orchestration: coordinator + a local worker fleet, one call.
+
+:func:`run_grid` is what ``repro grid run`` executes: start a
+:class:`~repro.grid.coordinator.Coordinator`, spawn ``workers`` worker
+subprocesses (``python -m repro grid worker --connect ...``) against
+it, drive the study to completion, and return the final report.
+External workers on other machines can join the same study by pointing
+``repro grid worker --connect`` at the printed address -- the
+coordinator does not distinguish spawned from walk-in workers.
+
+``kill_worker_after`` is the built-in chaos hook CI uses: it SIGKILLs
+the first spawned worker that many wall seconds in, which lands
+mid-cell at any realistic scale; the coordinator requeues the orphaned
+cell and the surviving workers finish the study.  Killed workers are
+not respawned -- the fleet is the unit of supply, the cache is the
+unit of durability.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, List, Optional
+
+import repro
+from repro.grid.coordinator import Coordinator
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import SweepSpec
+
+
+def worker_command(host: str, port: int,
+                   worker_id: Optional[str] = None) -> List[str]:
+    cmd = [sys.executable, "-m", "repro", "grid", "worker",
+           "--connect", f"{host}:{port}"]
+    if worker_id:
+        cmd += ["--id", worker_id]
+    return cmd
+
+
+def worker_env() -> dict:
+    """Child env with the running repro package importable."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def spawn_worker(host: str, port: int,
+                 worker_id: Optional[str] = None) -> subprocess.Popen:
+    """Start one worker subprocess against a coordinator address."""
+    return subprocess.Popen(
+        worker_command(host, port, worker_id),
+        env=worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_grid(
+    spec: SweepSpec,
+    cache: ResultCache,
+    workers: int = 2,
+    use_cache: bool = True,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_attempts: int = 3,
+    backoff_s: float = 0.5,
+    heartbeat_s: float = 2.0,
+    heartbeat_timeout_s: float = 10.0,
+    frame_interval_s: float = 1.0,
+    frame_sink: Optional[Callable[[dict], None]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    kill_worker_after: Optional[float] = None,
+) -> dict:
+    """Run a sharded study with a spawned local worker fleet."""
+    if workers < 1:
+        raise ValueError("a grid study needs at least one worker")
+    coordinator = Coordinator(
+        spec,
+        cache,
+        host=host,
+        port=port,
+        use_cache=use_cache,
+        max_attempts=max_attempts,
+        backoff_s=backoff_s,
+        heartbeat_s=heartbeat_s,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        frame_interval_s=frame_interval_s,
+        frame_sink=frame_sink,
+        progress=progress,
+    )
+    coordinator.start()
+    if progress is not None:
+        progress(f"coordinator listening on {coordinator.address} "
+                 f"(join with: repro grid worker --connect "
+                 f"{coordinator.address})")
+    procs: List[subprocess.Popen] = []
+    kill_timer: Optional[threading.Timer] = None
+    killed = {"count": 0}
+    try:
+        # resume may have satisfied the whole study from cache already
+        if not coordinator.state.finished:
+            procs = [
+                spawn_worker(coordinator.host, coordinator.port,
+                             worker_id=f"w{i}")
+                for i in range(workers)
+            ]
+            if kill_worker_after is not None:
+                def _kill() -> None:
+                    victim = procs[0]
+                    if victim.poll() is None:
+                        victim.kill()
+                        killed["count"] += 1
+                        if progress is not None:
+                            progress(
+                                f"chaos: killed worker w0 (pid {victim.pid})"
+                            )
+
+                kill_timer = threading.Timer(kill_worker_after, _kill)
+                kill_timer.daemon = True
+                kill_timer.start()
+        report = coordinator.run()
+    finally:
+        if kill_timer is not None:
+            kill_timer.cancel()
+        coordinator.stop()
+        _drain_fleet(procs)
+    report["jobs"] = workers
+    report["grid"]["workers_spawned"] = workers if procs else 0
+    report["grid"]["workers_killed"] = killed["count"]
+    return report
+
+
+def _drain_fleet(procs: List[subprocess.Popen],
+                 grace_s: float = 5.0) -> None:
+    """Wait briefly for workers to exit on shutdown, then make sure."""
+    deadline = time.monotonic() + grace_s
+    for proc in procs:
+        if proc.poll() is not None:
+            continue
+        try:
+            proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5.0)

@@ -1,0 +1,245 @@
+"""Pure coordinator state machine: units, attempts, heartbeats, records.
+
+:class:`StudyState` owns no sockets, threads or clocks -- every method
+takes ``now`` (monotonic seconds) explicitly, which makes the whole
+failure surface (heartbeat timeout -> requeue, bounded retries with
+exponential backoff, retry exhaustion -> failed-cell record, duplicate
+completion after a requeue) unit-testable without sleeping.  The
+coordinator wraps one instance in a lock and drives it from its
+session and watchdog threads.
+
+Invariants:
+
+- a unit is in exactly one of ``queued | inflight | done | failed``;
+- ``records`` is indexed by spec grid order, so the final report is
+  deterministic regardless of which worker finished which cell when;
+- completion is idempotent: the first result for a key wins, a second
+  (a requeued cell whose original worker survived after all) is
+  dropped -- both documents are byte-identical by the determinism
+  contract, so there is nothing to reconcile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+QUEUED = "queued"
+INFLIGHT = "inflight"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class WorkUnit:
+    """One sweep cell as schedulable work."""
+
+    index: int
+    key: str
+    config: dict
+    label: str
+    status: str = QUEUED
+    attempts: int = 0
+    not_before: float = 0.0  # backoff gate (monotonic seconds)
+    worker: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkerInfo:
+    """Liveness bookkeeping for one connected worker."""
+
+    worker_id: str
+    last_beat: float
+    unit: Optional[str] = None  # key of the unit it is executing
+    completed: int = 0
+    lost: bool = False
+
+
+class StudyState:
+    """The sharded study: what ran, what is running, what remains."""
+
+    def __init__(
+        self,
+        units: Sequence[WorkUnit],
+        max_attempts: int = 3,
+        backoff_s: float = 0.5,
+        heartbeat_timeout_s: float = 10.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.units = list(units)
+        self._by_key: Dict[str, WorkUnit] = {u.key: u for u in self.units}
+        if len(self._by_key) != len(self.units):
+            raise ValueError("duplicate cell keys in one study")
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.records: List[Optional[dict]] = [None] * len(self.units)
+        self.workers: Dict[str, WorkerInfo] = {}
+        # counters surfaced in frames and the final report
+        self.requeues = 0
+        self.duplicates = 0
+        self.cache_hits = 0
+        self.workers_lost = 0
+
+    # -- workers -------------------------------------------------------
+    def register_worker(self, worker_id: str, now: float) -> None:
+        if worker_id in self.workers and not self.workers[worker_id].lost:
+            raise ValueError(f"worker id {worker_id!r} already connected")
+        self.workers[worker_id] = WorkerInfo(worker_id, last_beat=now)
+
+    def beat(self, worker_id: str, now: float) -> None:
+        info = self.workers.get(worker_id)
+        if info is not None and not info.lost:
+            info.last_beat = now
+
+    def stale_workers(self, now: float) -> List[str]:
+        """Connected workers whose last heartbeat is older than the timeout."""
+        return [
+            w.worker_id
+            for w in self.workers.values()
+            if not w.lost and now - w.last_beat > self.heartbeat_timeout_s
+        ]
+
+    def retire_worker(self, worker_id: str) -> None:
+        """An orderly departure (study done / shutdown): not a loss."""
+        info = self.workers.get(worker_id)
+        if info is not None:
+            info.lost = True
+            info.unit = None
+
+    def lose_worker(self, worker_id: str, now: float, reason: str) -> Optional[str]:
+        """Mark a worker dead; requeue (or fail out) its inflight unit.
+
+        Returns the key of the unit that was requeued/failed, if any.
+        """
+        info = self.workers.get(worker_id)
+        if info is None or info.lost:
+            return None
+        info.lost = True
+        self.workers_lost += 1
+        key = info.unit
+        info.unit = None
+        if key is None:
+            return None
+        unit = self._by_key[key]
+        if unit.status == INFLIGHT and unit.worker == worker_id:
+            self._bounce(unit, now, f"worker {worker_id} lost: {reason}")
+            return key
+        return None
+
+    def unit_for(self, key: str) -> WorkUnit:
+        return self._by_key[key]
+
+    # -- dispatch ------------------------------------------------------
+    def claim(self, worker_id: str, now: float) -> Optional[WorkUnit]:
+        """Hand the lowest-index eligible queued unit to ``worker_id``."""
+        info = self.workers.get(worker_id)
+        if info is None or info.lost or info.unit is not None:
+            return None
+        for unit in self.units:
+            if unit.status == QUEUED and unit.not_before <= now:
+                unit.status = INFLIGHT
+                unit.attempts += 1
+                unit.worker = worker_id
+                info.unit = unit.key
+                info.last_beat = now
+                return unit
+        return None
+
+    def retry_after(self, now: float) -> Optional[float]:
+        """Seconds until the next backoff-gated unit becomes claimable.
+
+        ``None`` when no unit is queued at all (everything is inflight,
+        done or failed) -- callers should then poll for stragglers.
+        """
+        gated = [u.not_before for u in self.units if u.status == QUEUED]
+        if not gated:
+            return None
+        return max(0.0, min(gated) - now)
+
+    # -- completion ----------------------------------------------------
+    def complete(self, key: str, doc: dict, cache_hit: bool = False) -> bool:
+        """Record a finished cell; returns False for duplicates."""
+        unit = self._by_key[key]
+        if unit.status == DONE:
+            self.duplicates += 1
+            return False
+        worker_id = unit.worker
+        unit.status = DONE
+        unit.worker = None
+        self.records[unit.index] = {**doc, "key": key, "cache_hit": cache_hit}
+        if cache_hit:
+            self.cache_hits += 1
+        info = self.workers.get(worker_id) if worker_id else None
+        if info is not None and info.unit == key:
+            info.unit = None
+            info.completed += 1
+        return True
+
+    def fail(self, key: str, now: float, reason: str) -> None:
+        """A worker reported an execution error for ``key``."""
+        unit = self._by_key[key]
+        if unit.status != INFLIGHT:
+            return  # stale report for a unit already resolved elsewhere
+        info = self.workers.get(unit.worker) if unit.worker else None
+        if info is not None and info.unit == key:
+            info.unit = None
+        self._bounce(unit, now, reason)
+
+    def _bounce(self, unit: WorkUnit, now: float, reason: str) -> None:
+        """Requeue with exponential backoff, or fail out of retries."""
+        unit.errors.append(reason)
+        unit.worker = None
+        if unit.attempts >= self.max_attempts:
+            unit.status = FAILED
+            self.records[unit.index] = {
+                "figure": unit.config["figure"],
+                "scale": unit.config["scale"],
+                "seed": unit.config["seed"],
+                "params": dict(unit.config.get("params", {})),
+                "key": unit.key,
+                "failed": True,
+                "attempts": unit.attempts,
+                "error": reason,
+                "errors": list(unit.errors),
+            }
+        else:
+            unit.status = QUEUED
+            unit.not_before = now + self.backoff_s * (2 ** (unit.attempts - 1))
+            self.requeues += 1
+
+    # -- progress ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return all(u.status in (DONE, FAILED) for u in self.units)
+
+    def counts(self) -> Dict[str, int]:
+        by_status = {QUEUED: 0, INFLIGHT: 0, DONE: 0, FAILED: 0}
+        for unit in self.units:
+            by_status[unit.status] += 1
+        return {
+            "cells": len(self.units),
+            "completed": by_status[DONE],
+            "failed": by_status[FAILED],
+            "inflight": by_status[INFLIGHT],
+            "queued": by_status[QUEUED],
+            "cache_hits": self.cache_hits,
+            "executed": by_status[DONE] - self.cache_hits,
+            "requeues": self.requeues,
+            "duplicates": self.duplicates,
+            "workers": sum(1 for w in self.workers.values() if not w.lost),
+            "workers_lost": self.workers_lost,
+        }
+
+    def completed_records(self) -> List[dict]:
+        """Done-cell records in spec grid order (failed cells excluded)."""
+        return [
+            r for r in self.records if r is not None and not r.get("failed")
+        ]
+
+    def failure_records(self) -> List[dict]:
+        return [
+            r for r in self.records if r is not None and r.get("failed")
+        ]

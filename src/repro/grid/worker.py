@@ -1,0 +1,157 @@
+"""The grid worker: a long-lived cell-execution loop.
+
+``repro grid worker --connect HOST:PORT`` runs :func:`run_worker`: it
+connects to a coordinator, introduces itself, then loops *ready ->
+work -> execute -> result*.  Cells execute through the exact same
+:func:`repro.sweep.runner.execute_cell` used by the inline runner and
+the ``ProcessPoolExecutor`` path, which is what makes a grid study's
+cell documents byte-identical to a single-process sweep's.
+
+A side thread sends a heartbeat every ``heartbeat_s`` (negotiated in
+the coordinator's ``welcome``) for the life of the connection, so the
+coordinator can tell a *slow* cell from a *dead or wedged* worker.  A
+cell that raises is reported as an ``error`` frame -- the worker
+survives and asks for more work; the coordinator owns the retry
+policy.  One worker executes one cell at a time: cell metrics capture
+is process-global state, so intra-worker parallelism would cross-
+contaminate observability snapshots (fleet parallelism comes from
+running more workers).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+from typing import Callable, Optional, Tuple
+
+from repro.grid import protocol
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` -> ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"bad coordinator address {text!r}; "
+                         f"expected HOST:PORT")
+    return host, int(port)
+
+
+class _HeartbeatPump(threading.Thread):
+    """Send a heartbeat frame every interval until stopped."""
+
+    def __init__(self, send: Callable[[dict], None], worker_id: str,
+                 interval_s: float) -> None:
+        super().__init__(name="grid-heartbeat", daemon=True)
+        self._send = send
+        self._worker_id = worker_id
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self.current_key: Optional[str] = None
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._send(
+                    protocol.heartbeat(self._worker_id, self.current_key)
+                )
+            except (OSError, ValueError):
+                return  # connection gone; the main loop notices via EOF
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def run_worker(
+    host: str,
+    port: int,
+    worker_id: Optional[str] = None,
+    heartbeat_s: Optional[float] = None,
+    execute: Optional[Callable[[dict], dict]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Serve cells until the coordinator says shutdown (or vanishes).
+
+    Returns the number of cells completed.  ``execute`` is injectable
+    for tests; the default is the real
+    :func:`~repro.sweep.runner.execute_cell`.
+    """
+    if execute is None:
+        from repro.sweep.runner import execute_cell as execute
+    worker_id = worker_id or f"w{os.getpid()}"
+    sock = socket.create_connection((host, port))
+    rfh = sock.makefile("rb")
+    wfh = sock.makefile("wb")
+    send_lock = threading.Lock()
+
+    def send(msg: dict) -> None:
+        with send_lock:
+            protocol.send_msg(wfh, msg)
+
+    def say(line: str) -> None:
+        if log is not None:
+            log(line)
+
+    completed = 0
+    pump = None
+    try:
+        send(protocol.hello(worker_id, os.getpid()))
+        msg = protocol.recv_msg(rfh)
+        if msg is None or msg.get("type") != protocol.WELCOME:
+            raise protocol.ProtocolError(
+                f"expected welcome, got {msg and msg.get('type')!r}"
+            )
+        interval = heartbeat_s or float(msg.get("heartbeat_s", 2.0))
+        say(f"{worker_id}: joined study {msg.get('study')} "
+            f"(heartbeat every {interval:g}s)")
+        pump = _HeartbeatPump(send, worker_id, interval)
+        pump.start()
+        while True:
+            send(protocol.ready(worker_id))
+            msg = protocol.recv_msg(rfh)
+            if msg is None or msg.get("type") == protocol.SHUTDOWN:
+                break
+            kind = msg.get("type")
+            if kind == protocol.DRAIN:
+                # nothing claimable yet (backoff gates / stragglers)
+                delay = float(msg.get("retry_after_s", 0.2))
+                threading.Event().wait(min(max(delay, 0.05), 1.0))
+                continue
+            if kind != protocol.WORK:
+                raise protocol.ProtocolError(
+                    f"unexpected {kind!r} from coordinator"
+                )
+            key = str(msg["key"])
+            attempt = int(msg.get("attempt", 1))
+            pump.current_key = key
+            try:
+                doc = execute(msg["config"])
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # a poison cell must not kill us
+                say(f"{worker_id}: cell {key[:12]} failed: {exc!r}")
+                send(protocol.error(
+                    worker_id, key, attempt, repr(exc),
+                    traceback.format_exc(),
+                ))
+            else:
+                completed += 1
+                say(f"{worker_id}: completed {msg.get('label', key[:12])} "
+                    f"({doc.get('wall_s', 0.0):.1f}s)")
+                send(protocol.result(worker_id, key, attempt, doc))
+            finally:
+                pump.current_key = None
+    except (OSError, protocol.ProtocolError) as exc:
+        # coordinator died or hung up mid-frame: exit quietly, the
+        # fleet manager (or operator) decides whether to reconnect
+        say(f"{worker_id}: connection lost ({exc!r})")
+    finally:
+        if pump is not None:
+            pump.stop()
+        for closer in (rfh, wfh, sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+    return completed

@@ -14,7 +14,14 @@ figure, scale, seed, params).  The same cell run inline, in a worker
 process, or served from cache yields a byte-identical result document.
 """
 
-from repro.sweep.aggregate import aggregate_cells, flatten, format_report, summarize
+from repro.sweep.aggregate import (
+    aggregate_cells,
+    canonical_report,
+    flatten,
+    format_report,
+    summarize,
+    write_canonical_json,
+)
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, cell_key
 from repro.sweep.cells import cell_names
 from repro.sweep.runner import execute_cell, run_sweep
@@ -30,6 +37,8 @@ __all__ = [
     "execute_cell",
     "run_sweep",
     "aggregate_cells",
+    "canonical_report",
+    "write_canonical_json",
     "flatten",
     "summarize",
     "format_report",

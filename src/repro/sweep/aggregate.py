@@ -153,6 +153,61 @@ def aggregate_cells(cells: Sequence[dict]) -> List[dict]:
 
 
 # ----------------------------------------------------------------------
+# canonical (wall-clock-free) projection
+# ----------------------------------------------------------------------
+CANONICAL_SCHEMA = "repro.sweep/canonical-1"
+
+#: the deterministic subset of a cell record; wall_s / cache_hit are
+#: execution accidents, everything here is a function of the spec
+_CANONICAL_CELL_FIELDS = (
+    "figure", "scale", "seed", "params", "key", "result", "metrics",
+    "blame", "failed", "error", "attempts",
+)
+
+
+def canonical_report(report: dict) -> dict:
+    """Deterministic projection of a sweep or grid report.
+
+    Strips every field that depends on *how* the study executed rather
+    than *what* it computed: per-cell ``wall_s``/``cache_hit``, the
+    timing totals, worker counts, and per-group ``wall_s`` summaries.
+    Two runs of the same spec -- single-process ``repro sweep``, a
+    sharded ``repro grid`` study with workers killed mid-run, a
+    coordinator resumed from cache -- project to byte-identical
+    documents, which is the determinism contract CI enforces with
+    ``cmp``.
+    """
+    cells = [
+        {k: cell[k] for k in _CANONICAL_CELL_FIELDS if k in cell}
+        for cell in report["cells"]
+    ]
+    groups = [
+        {k: v for k, v in group.items() if k != "wall_s"}
+        for group in report["groups"]
+    ]
+    return {
+        "schema": CANONICAL_SCHEMA,
+        "repro_version": report.get("repro_version"),
+        "spec": report["spec"],
+        "totals": {
+            "cells": len(cells),
+            "failed": sum(1 for c in cells if c.get("failed")),
+        },
+        "cells": cells,
+        "groups": groups,
+    }
+
+
+def write_canonical_json(path, report: dict) -> dict:
+    """Write :func:`canonical_report` as stable, ``cmp``-able JSON."""
+    doc = canonical_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
 # text rendering
 # ----------------------------------------------------------------------
 def format_group(group: dict, max_rows: Optional[int] = None) -> str:

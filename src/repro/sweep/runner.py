@@ -7,8 +7,10 @@ a ``ProcessPoolExecutor`` (``jobs > 1``) or runs them inline
 (``jobs == 1``), and returns the aggregated report document.
 
 Cells are independent simulations with their own seeds, so execution
-order cannot change results; the report lists cells in grid order
-regardless of completion order.  ``execute_cell`` is the single
+order cannot change results; the returned cell list (and hence the
+written ``BENCH_sweep.json``) is in spec grid order regardless of
+executor scheduling -- only the ``progress`` callback fires in
+completion order.  ``execute_cell`` is the single
 entry point for both paths -- a top-level function taking one plain
 dict, so worker processes receive nothing but picklable data and
 resolve the cell function themselves.  It canonicalizes the result
@@ -20,7 +22,7 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, List, Optional
 
 import repro
@@ -107,11 +109,14 @@ def run_sweep(
 
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                (index, cell, key, pool.submit(execute_cell, cell.config()))
+            futures = {
+                pool.submit(execute_cell, cell.config()): (index, cell, key)
                 for index, cell, key in pending
-            ]
-            for index, cell, key, future in futures:
+            }
+            # progress streams in completion order; ``records`` is filled
+            # by grid index, so the report stays in spec order
+            for future in as_completed(futures):
+                index, cell, key = futures[future]
                 finish(index, cell, key, future.result())
     else:
         for index, cell, key in pending:

@@ -19,11 +19,13 @@ from repro.sweep import (
     ResultCache,
     SweepSpec,
     aggregate_cells,
+    canonical_report,
     cell_key,
     execute_cell,
     flatten,
     run_sweep,
     summarize,
+    write_canonical_json,
 )
 from repro.sweep import cells as cell_registry
 from repro.workloads.specs import make_job
@@ -147,6 +149,38 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert again["totals"]["executed"] == 1
     # the entry was repaired
     assert json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_corrupt_cache_entry_is_quarantined_for_postmortem(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = "ab" + "0" * 62
+    cache.put(key, {"result": {"x": 1}})
+    path = cache.path_for(key)
+    path.write_text("{torn write", encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    # the evidence survives next to where the entry lived
+    corrupt = path.with_suffix(".corrupt")
+    assert corrupt.read_text(encoding="utf-8") == "{torn write"
+    assert not path.exists()
+    # a non-dict document is quarantined too
+    path.write_text("[1, 2]", encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.quarantined == 2
+    # the slot is reusable after repair
+    cache.put(key, {"result": {"x": 2}})
+    assert cache.get(key) == {"result": {"x": 2}}
+
+
+def test_cell_key_salted_with_cache_version(monkeypatch):
+    config = cheap_spec().cells()[0].config()
+    key = cell_key(config)
+    # the implicit salt is exactly ResultCache.VERSION
+    assert key == cell_key(config, version=ResultCache.VERSION)
+    # a schema/version bump re-addresses every cell
+    monkeypatch.setattr(ResultCache, "VERSION", "repro.sweep/999+0.0.0")
+    assert cell_key(config) != key
+    assert cell_key(config) == cell_key(config, version=ResultCache.VERSION)
 
 
 # ----------------------------------------------------------------------
@@ -355,3 +389,42 @@ def test_run_sweep_with_blame_propagates_to_groups(tmp_path):
     assert json.dumps(again["cells"][0]["blame"], sort_keys=True) == json.dumps(
         report["cells"][0]["blame"], sort_keys=True
     )
+
+
+# ----------------------------------------------------------------------
+# spec-order determinism + the canonical projection
+# ----------------------------------------------------------------------
+def test_parallel_sweep_keeps_spec_order_and_canonical_bytes(tmp_path):
+    spec = cheap_spec(seeds=(1, 2, 3))
+    serial = run_sweep(spec, jobs=1, cache=ResultCache(tmp_path / "a"))
+    parallel = run_sweep(spec, jobs=3, cache=ResultCache(tmp_path / "b"))
+    # the cell list is in spec grid order regardless of which worker
+    # process finished first
+    want = [(c.figure, c.scale, c.seed) for c in spec.cells()]
+    for report in (serial, parallel):
+        got = [(c["figure"], c["scale"], c["seed"]) for c in report["cells"]]
+        assert got == want
+    assert json.dumps(canonical_report(serial), sort_keys=True) == json.dumps(
+        canonical_report(parallel), sort_keys=True
+    )
+
+
+def test_canonical_report_strips_execution_accidents(tmp_path):
+    spec = cheap_spec(seeds=(1, 2))
+    cache = ResultCache(tmp_path / "c")
+    fresh = canonical_report(run_sweep(spec, jobs=1, cache=cache))
+    assert fresh["schema"] == "repro.sweep/canonical-1"
+    assert fresh["totals"] == {"cells": 2, "failed": 0}
+    for cell in fresh["cells"]:
+        assert "wall_s" not in cell and "cache_hit" not in cell
+    for group in fresh["groups"]:
+        assert "wall_s" not in group
+    # a fully-cached rerun (different wall clock, different hit pattern)
+    # projects to the same bytes -- including through the file writer
+    cached = run_sweep(spec, jobs=1, cache=cache)
+    assert cached["totals"]["cache_hits"] == 2
+    out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+    write_canonical_json(out_a, cached)
+    json.dump(fresh, out_b.open("w"), indent=2, sort_keys=True)
+    out_b.open("a").write("\n")
+    assert out_a.read_bytes() == out_b.read_bytes()
