@@ -594,6 +594,31 @@ def cmd_grid_status(args) -> int:
     if wall.get("n"):
         print(f"  cell wall    mean {wall['mean']:.1f}s / "
               f"p95 {wall['p95']:.1f}s over {wall['n']} cells")
+    queue_age = last.get("queue_age")
+    if queue_age and queue_age.get("n"):
+        print(f"  queue age    p50 {queue_age['p50']:.1f}s / "
+              f"p95 {queue_age['p95']:.1f}s / max {queue_age['max']:.1f}s "
+              f"over {queue_age['n']} queued")
+    for worker in last.get("workers", []):
+        liveness = (
+            f"beat {worker['beat_age_s']:.1f}s ago" if worker["alive"]
+            else ("retired" if worker.get("retired") else "LOST")
+        )
+        busy = (
+            f"on {worker['unit'][:12]}" if worker.get("unit") else "idle"
+        )
+        rtt = (
+            f", rtt {worker['rtt_ms']:.1f}ms"
+            if worker.get("rtt_ms") is not None else ""
+        )
+        rate = (
+            f", {worker['events_per_s']:,.0f} ev/s"
+            if worker.get("events_per_s") else ""
+        )
+        print(f"  worker {worker['id']:<10} {liveness:<16} {busy:<16} "
+              f"{worker['cells']} cells, "
+              f"{worker['retries_charged']} retries charged"
+              f"{rate}{rtt}")
     for group in last.get("groups", []):
         params = group["params"]
         suffix = f" {params}" if params else ""
@@ -654,8 +679,10 @@ def cmd_bench(args) -> int:
 
     from repro.obs.bench import (
         DEFAULT_CELLS,
+        archive_report,
         compare_reports,
         format_bench,
+        format_compare_table,
         run_bench,
         write_bench_json,
     )
@@ -673,9 +700,14 @@ def cmd_bench(args) -> int:
     if args.out:
         write_bench_json(args.out, report)
         print(f"wrote {args.out}")
+    if args.trajectory_dir and args.trajectory_dir != "none":
+        archived = archive_report(report, args.trajectory_dir)
+        print(f"archived {archived}")
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
+        print()
+        print(format_compare_table(baseline, report))
         failures, notes = compare_reports(baseline, report, args.tolerance)
         for note in notes:
             print(f"note: {note}")
@@ -684,6 +716,59 @@ def cmd_bench(args) -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print(f"bench OK vs {args.compare} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def cmd_prof(args) -> int:
+    import json
+
+    from repro.obs.prof import (
+        compare_profiles,
+        format_profile,
+        format_profile_compare,
+        run_profile,
+        write_collapsed,
+        write_profile_json,
+        write_speedscope,
+    )
+
+    report = run_profile(
+        args.cell,
+        scale=args.scale,
+        seed=args.seed,
+        granularity=args.granularity,
+        trace_malloc=args.trace_malloc,
+        tracing=args.tracing,
+    )
+    print(format_profile(report))
+    if args.out:
+        write_profile_json(args.out, report)
+        print(f"wrote {args.out}")
+    if args.flame:
+        lines = write_collapsed(args.flame, report)
+        print(f"wrote {args.flame} ({lines} stacks; feed to flamegraph.pl "
+              f"or inferno)")
+    if args.speedscope:
+        samples = write_speedscope(args.speedscope, report)
+        print(f"wrote {args.speedscope} ({samples} samples; open at "
+              f"https://speedscope.app)")
+    if not report["digest_consistent"]:
+        print("FAIL: profiling perturbed the simulation result",
+              file=sys.stderr)
+        return 1
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        print()
+        print(format_profile_compare(baseline, report))
+        failures, notes = compare_profiles(baseline, report, args.tolerance)
+        for note in notes:
+            print(f"note: {note}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"prof OK vs {args.compare} (tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -1035,6 +1120,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline repro.bench report to gate against")
     bench.add_argument("--tolerance", type=float, default=0.2,
                        help="allowed fractional events/sec regression")
+    bench.add_argument("--trajectory-dir", default="BENCH_trajectory",
+                       metavar="DIR",
+                       help="perf-history directory each run is archived "
+                       "to ('none' to skip)")
     bench.set_defaults(func=cmd_bench)
 
     live = sub.add_parser(
@@ -1125,6 +1214,47 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--repeats", type=int, default=1)
     prof.add_argument("--estimate", type=float, nargs="*", default=[1.5])
     prof.set_defaults(func=cmd_profile)
+
+    wprof = sub.add_parser(
+        "prof",
+        help="wall-time profile of the simulator itself (flamegraphs)",
+        description="Run one sweep cell twice -- unprofiled for the "
+        "reference digest, then under the repro.obs.prof wall-time "
+        "profiler -- and report per-subsystem/callback self and "
+        "cumulative time, engine-health gauges and (optionally) "
+        "phase-bucketed tracemalloc memory, writing a repro.prof/1 "
+        "report plus collapsed-stack and speedscope flamegraphs.  With "
+        "--compare, exit non-zero on an events/sec regression vs a "
+        "baseline profile (a dossier like `repro bench --compare`).",
+    )
+    wprof.add_argument("--cell", default="fabric",
+                       help="sweep cell to profile (default: fabric, the "
+                       "shuffle-heavy microbench; aliases like "
+                       "fabric_micro work)")
+    wprof.add_argument("--scale", choices=("tiny", "small", "medium", "paper"),
+                       default="tiny")
+    wprof.add_argument("--seed", type=int, default=1)
+    wprof.add_argument("--granularity", choices=("coarse", "full"),
+                       default="full",
+                       help="coarse = per-module roots only; full adds "
+                       "per-callback frames and flamegraph depth")
+    wprof.add_argument("--trace-malloc", action="store_true",
+                       help="sample tracemalloc memory into phase buckets "
+                       "(slows the profiled pass, never its result)")
+    wprof.add_argument("--tracing", action="store_true",
+                       help="stack span tracing on top of profiling "
+                       "(the digest check still must hold)")
+    wprof.add_argument("--out", default="PROF_report.json",
+                       help="profile report path ('' disables)")
+    wprof.add_argument("--flame", default="", metavar="PATH",
+                       help="write a collapsed-stack flamegraph file")
+    wprof.add_argument("--speedscope", default="", metavar="PATH",
+                       help="write a speedscope JSON profile")
+    wprof.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="baseline repro.prof report to gate against")
+    wprof.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional events/sec regression")
+    wprof.set_defaults(func=cmd_prof)
 
     return parser
 

@@ -138,6 +138,7 @@ class Coordinator:
         """Scan the cache for finished cells, then start accepting."""
         self._started_monotonic = self.clock()
         self._started_wall = time.perf_counter()
+        self.state.mark_queued(self._started_monotonic)
         if self.use_cache:
             for unit in self.state.units:
                 cached = self.cache.get(unit.key)
@@ -271,7 +272,7 @@ class Coordinator:
         kind = msg.get("type")
         if kind == protocol.HEARTBEAT:
             with self._lock:
-                self.state.beat(worker_id, self.clock())
+                self.state.beat(worker_id, self.clock(), msg.get("rtt_ms"))
         elif kind == protocol.READY:
             self._offer(wfh, worker_id)
         elif kind == protocol.RESULT:
@@ -337,10 +338,16 @@ class Coordinator:
                     pass
 
     def _emit_frame(self, done: bool = False) -> dict:
-        elapsed = self.clock() - (self._started_monotonic or 0.0)
+        now = self.clock()
+        elapsed = now - (self._started_monotonic or 0.0)
         with self._lock:
             counts = self.state.counts()
-            return self.progress.frame(elapsed, counts, done=done)
+            workers = self.state.worker_snapshots(now)
+            queue_age = self.state.queue_age_stats(now)
+            return self.progress.frame(
+                elapsed, counts, done=done,
+                workers=workers, queue_age=queue_age,
+            )
 
     def _log(self, line: str) -> None:
         if self.progress_cb is not None:

@@ -133,8 +133,17 @@ class GridProgress:
         return out
 
     def frame(self, ts: float, counts: Dict[str, int],
-              done: bool = False) -> dict:
-        """Build (and emit, when a sink is set) one progress frame."""
+              done: bool = False,
+              workers: Optional[List[dict]] = None,
+              queue_age: Optional[Dict[str, float]] = None) -> dict:
+        """Build (and emit, when a sink is set) one progress frame.
+
+        ``workers`` (per-worker fleet-health snapshots from
+        :meth:`repro.grid.state.StudyState.worker_snapshots`) and
+        ``queue_age`` (queued-unit age percentiles) are optional so old
+        frame producers/tests stay valid; consumers must treat them as
+        absent-able.
+        """
         frame = {
             "type": "frame",
             "schema": PROTOCOL,
@@ -145,6 +154,10 @@ class GridProgress:
             "wall_s": self.wall_s.snapshot(),
             "groups": self.group_snapshots(),
         }
+        if workers is not None:
+            frame["workers"] = workers
+        if queue_age is not None:
+            frame["queue_age"] = queue_age
         self.seq += 1
         if self.sink is not None:
             self.sink(frame)

@@ -133,5 +133,12 @@ def error(worker: str, key: str, attempt: int, message: str,
     }
 
 
-def heartbeat(worker: str, key: Optional[str]) -> dict:
-    return {"type": HEARTBEAT, "worker": worker, "key": key}
+def heartbeat(
+    worker: str, key: Optional[str], rtt_ms: Optional[float] = None
+) -> dict:
+    """``rtt_ms`` is the worker's latest ready-round-trip measurement;
+    it rides along as an extra field (old coordinators ignore it)."""
+    msg: dict = {"type": HEARTBEAT, "worker": worker, "key": key}
+    if rtt_ms is not None:
+        msg["rtt_ms"] = round(float(rtt_ms), 3)
+    return msg

@@ -43,6 +43,9 @@ class WorkUnit:
     not_before: float = 0.0  # backoff gate (monotonic seconds)
     worker: Optional[str] = None
     errors: List[str] = field(default_factory=list)
+    #: when the unit last entered the queue (study start or requeue);
+    #: feeds the queue-age telemetry, never scheduling decisions
+    queued_at: float = 0.0
 
 
 @dataclass
@@ -54,6 +57,12 @@ class WorkerInfo:
     unit: Optional[str] = None  # key of the unit it is executing
     completed: int = 0
     lost: bool = False
+    retired: bool = False  # orderly departure, not a loss
+    #: fleet-health telemetry (display only, never scheduling input)
+    rtt_ms: Optional[float] = None  # worker-measured ready round-trip
+    retries_charged: int = 0  # attempts this worker burned (bounces)
+    events: int = 0  # simulator events across its completed cells
+    busy_s: float = 0.0  # wall time across its completed cells
 
 
 class StudyState:
@@ -89,10 +98,20 @@ class StudyState:
             raise ValueError(f"worker id {worker_id!r} already connected")
         self.workers[worker_id] = WorkerInfo(worker_id, last_beat=now)
 
-    def beat(self, worker_id: str, now: float) -> None:
+    def mark_queued(self, now: float) -> None:
+        """Stamp every queued unit's ``queued_at`` (study start)."""
+        for unit in self.units:
+            if unit.status == QUEUED:
+                unit.queued_at = now
+
+    def beat(
+        self, worker_id: str, now: float, rtt_ms: Optional[float] = None
+    ) -> None:
         info = self.workers.get(worker_id)
         if info is not None and not info.lost:
             info.last_beat = now
+            if rtt_ms is not None:
+                info.rtt_ms = float(rtt_ms)
 
     def stale_workers(self, now: float) -> List[str]:
         """Connected workers whose last heartbeat is older than the timeout."""
@@ -107,6 +126,7 @@ class StudyState:
         info = self.workers.get(worker_id)
         if info is not None:
             info.lost = True
+            info.retired = True
             info.unit = None
 
     def lose_worker(self, worker_id: str, now: float, reason: str) -> Optional[str]:
@@ -176,6 +196,8 @@ class StudyState:
         if info is not None and info.unit == key:
             info.unit = None
             info.completed += 1
+            info.events += int(doc.get("events", 0) or 0)
+            info.busy_s += float(doc.get("wall_s", 0.0) or 0.0)
         return True
 
     def fail(self, key: str, now: float, reason: str) -> None:
@@ -191,6 +213,9 @@ class StudyState:
     def _bounce(self, unit: WorkUnit, now: float, reason: str) -> None:
         """Requeue with exponential backoff, or fail out of retries."""
         unit.errors.append(reason)
+        charged = self.workers.get(unit.worker) if unit.worker else None
+        if charged is not None:
+            charged.retries_charged += 1
         unit.worker = None
         if unit.attempts >= self.max_attempts:
             unit.status = FAILED
@@ -208,6 +233,7 @@ class StudyState:
         else:
             unit.status = QUEUED
             unit.not_before = now + self.backoff_s * (2 ** (unit.attempts - 1))
+            unit.queued_at = now
             self.requeues += 1
 
     # -- progress ------------------------------------------------------
@@ -231,6 +257,53 @@ class StudyState:
             "duplicates": self.duplicates,
             "workers": sum(1 for w in self.workers.values() if not w.lost),
             "workers_lost": self.workers_lost,
+        }
+
+    def worker_snapshots(self, now: float) -> List[dict]:
+        """Fleet-health view: one JSON-friendly dict per worker ever
+        seen, sorted by id -- what frames, ``repro grid status`` and the
+        dashboard fleet panel render."""
+        out = []
+        for worker_id in sorted(self.workers):
+            info = self.workers[worker_id]
+            out.append({
+                "id": worker_id,
+                "alive": not info.lost,
+                "retired": info.retired,
+                "beat_age_s": round(max(0.0, now - info.last_beat), 3),
+                "unit": info.unit,
+                "cells": info.completed,
+                "retries_charged": info.retries_charged,
+                "events": info.events,
+                "busy_s": round(info.busy_s, 3),
+                "events_per_s": (
+                    round(info.events / info.busy_s, 1)
+                    if info.busy_s > 0
+                    else 0.0
+                ),
+                "rtt_ms": (
+                    round(info.rtt_ms, 3) if info.rtt_ms is not None else None
+                ),
+            })
+        return out
+
+    def queue_age_stats(self, now: float) -> Dict[str, float]:
+        """Age percentiles of the still-queued units (dispatch latency
+        pressure: a growing p95 means the fleet is underprovisioned)."""
+        from repro.sim.trace import percentile
+
+        ages = sorted(
+            max(0.0, now - u.queued_at)
+            for u in self.units
+            if u.status == QUEUED
+        )
+        if not ages:
+            return {"n": 0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "n": len(ages),
+            "p50": round(percentile(ages, 50.0), 3),
+            "p95": round(percentile(ages, 95.0), 3),
+            "max": round(ages[-1], 3),
         }
 
     def completed_records(self) -> List[dict]:

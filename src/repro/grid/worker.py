@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import socket
 import threading
+import time
 import traceback
 from typing import Callable, Optional, Tuple
 
@@ -49,12 +50,16 @@ class _HeartbeatPump(threading.Thread):
         self._interval_s = interval_s
         self._stop = threading.Event()
         self.current_key: Optional[str] = None
+        #: latest ready-round-trip measurement, piggybacked on beats
+        self.rtt_ms: Optional[float] = None
 
     def run(self) -> None:
         while not self._stop.wait(self._interval_s):
             try:
                 self._send(
-                    protocol.heartbeat(self._worker_id, self.current_key)
+                    protocol.heartbeat(
+                        self._worker_id, self.current_key, self.rtt_ms
+                    )
                 )
             except (OSError, ValueError):
                 return  # connection gone; the main loop notices via EOF
@@ -108,8 +113,13 @@ def run_worker(
         pump = _HeartbeatPump(send, worker_id, interval)
         pump.start()
         while True:
+            # the ready round trip doubles as the RTT probe: it measures
+            # exactly what a worker feels -- wire latency plus the
+            # coordinator's dispatch (lock + claim) time
+            asked = time.perf_counter()
             send(protocol.ready(worker_id))
             msg = protocol.recv_msg(rfh)
+            pump.rtt_ms = (time.perf_counter() - asked) * 1000.0
             if msg is None or msg.get("type") == protocol.SHUTDOWN:
                 break
             kind = msg.get("type")

@@ -15,8 +15,10 @@ Call :meth:`Observability.enable_tracing` (or pass ``--trace`` to
 ``repro run``) to record spans; :mod:`repro.obs.export` then renders
 Chrome trace-event JSON, a JSONL structured log, and a text summary.
 :mod:`repro.obs.critpath` turns a traced run into a per-job
-critical-path blame breakdown, and :mod:`repro.obs.bench` benchmarks
-the simulator itself (``repro bench``) with a regression gate.
+critical-path blame breakdown, :mod:`repro.obs.bench` benchmarks
+the simulator itself (``repro bench``) with a regression gate, and
+:mod:`repro.obs.prof` attributes wall-clock self/cumulative time per
+subsystem and callback with flamegraph export (``repro prof``).
 
 Instrumentation only *records* -- it never draws randomness or
 schedules events -- so identical seeds produce byte-identical
@@ -35,6 +37,7 @@ from repro.obs.capture import (
 )
 from repro.obs.live import JsonlFrameSink, LiveSampler, MemorySink
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import Profiler
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 TracerLike = Union[Tracer, NullTracer]
@@ -86,4 +89,5 @@ __all__ = [
     "LiveSampler",
     "JsonlFrameSink",
     "MemorySink",
+    "Profiler",
 ]

@@ -237,6 +237,101 @@ def compare_reports(
     return failures, notes
 
 
+def format_compare_table(baseline: dict, current: dict) -> str:
+    """Per-cell delta table for ``repro bench --compare``.
+
+    A bare pass/fail hides *where* a budget went; this shows each
+    cell's events/sec move, the event-count drift, and the largest
+    critpath blame-share shift -- the usual first clue to *why* a cell
+    got slower (work moved between subsystems vs the same work running
+    slower).
+    """
+    from repro.metrics.report import format_table
+
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    rows = []
+    for name in sorted(set(base_cells) | set(cur_cells)):
+        base, cur = base_cells.get(name), cur_cells.get(name)
+        if base is None or cur is None:
+            rows.append([
+                name, "-", "-", "new" if base is None else "dropped",
+                "-", "-",
+            ])
+            continue
+        base_eps, cur_eps = base["events_per_s"], cur["events_per_s"]
+        eps_delta = 100.0 * (cur_eps - base_eps) / base_eps if base_eps else 0.0
+        shift_label = "-"
+        base_blame = base.get("blame_pct", {})
+        cur_blame = cur.get("blame_pct", {})
+        shifts = [
+            (cur_blame.get(c, 0.0) - base_blame.get(c, 0.0), c)
+            for c in set(base_blame) | set(cur_blame)
+        ]
+        if shifts:
+            shift, category = max(shifts, key=lambda sc: abs(sc[0]))
+            if abs(shift) >= 0.05:
+                shift_label = f"{category} {shift:+.1f}pp"
+        rows.append([
+            name,
+            round(base_eps),
+            round(cur_eps),
+            f"{eps_delta:+.1f}%",
+            cur.get("events", 0) - base.get("events", 0),
+            shift_label,
+        ])
+    base_total = baseline.get("totals", {}).get("events_per_s", 0.0)
+    cur_total = current.get("totals", {}).get("events_per_s", 0.0)
+    total_delta = (
+        100.0 * (cur_total - base_total) / base_total if base_total else 0.0
+    )
+    return format_table(
+        ["cell", "base_ev/s", "cur_ev/s", "Δev/s", "Δevents", "blame_shift"],
+        rows,
+        title=(
+            f"bench vs baseline -- total events/s "
+            f"{base_total:,.0f} -> {cur_total:,.0f} ({total_delta:+.1f}%)"
+        ),
+    )
+
+
+def archive_report(report: dict, directory: str) -> str:
+    """Append ``report`` to a ``BENCH_trajectory/`` perf-history dir.
+
+    Writes ``bench-<utc>-<digest8>.json`` plus one line in
+    ``index.jsonl`` (timestamp, file, per-cell events/sec), so the
+    events/sec history across PRs is one ``jq`` away.  Returns the
+    archived file's path.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    digest = hashlib.sha256(
+        json.dumps(report, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:8]
+    path = os.path.join(directory, f"bench-{stamp}-{digest}.json")
+    write_bench_json(path, report)
+    index_line = {
+        "ts": stamp,
+        "file": os.path.basename(path),
+        "repro_version": report.get("repro_version"),
+        "scale": report.get("scale"),
+        "seed": report.get("seed"),
+        "total_events_per_s": round(
+            report.get("totals", {}).get("events_per_s", 0.0), 1
+        ),
+        "events_per_s": {
+            name: round(cell["events_per_s"], 1)
+            for name, cell in sorted(report.get("cells", {}).items())
+        },
+    }
+    with open(os.path.join(directory, "index.jsonl"), "a",
+              encoding="utf-8") as fh:
+        fh.write(json.dumps(index_line, sort_keys=True) + "\n")
+    return path
+
+
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------

@@ -106,10 +106,18 @@ class SimCapture:
     cell.  Captures nest and restore their predecessor on exit.
     """
 
-    def __init__(self, tracing: bool = False, accounting: bool = False) -> None:
+    def __init__(
+        self,
+        tracing: bool = False,
+        accounting: bool = False,
+        profiler=None,
+    ) -> None:
         self.simulators: List[object] = []
         self.tracing = tracing
         self.accounting = accounting
+        #: a :class:`repro.obs.prof.Profiler` shared by every captured
+        #: simulator (one frame stack spans the whole cell), or None
+        self.profiler = profiler
         self._previous: Optional["SimCapture"] = None
 
     def __enter__(self) -> "SimCapture":
@@ -130,6 +138,8 @@ class SimCapture:
             sim.obs.enable_tracing()
         if self.accounting:
             sim.enable_event_accounting()
+        if self.profiler is not None:
+            sim.enable_profiling(self.profiler)
 
     # -- aggregate views over all captured simulators -------------------
     def total_events(self) -> int:

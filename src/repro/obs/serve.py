@@ -379,6 +379,13 @@ th { color: var(--text-secondary); font-weight: 600; }
 <div class="panel live-only" style="margin-top:12px"><h2>Chaos faults</h2>
   <div class="chips" id="chaos"></div></div>
 <div class="panel grid-only" style="margin-top:12px">
+  <h2>Fleet health <span id="fleet-queue" class="muted"></span></h2>
+  <table id="fleet" style="width:100%"><thead><tr>
+    <th style="text-align:left">worker</th><th style="text-align:left">state</th>
+    <th>beat age</th><th>cells</th><th>retries</th>
+    <th>events/s</th><th>rtt ms</th><th style="text-align:left">running</th>
+  </tr></thead><tbody></tbody></table></div>
+<div class="panel grid-only" style="margin-top:12px">
   <h2>Streaming aggregates <span class="muted">(partial, per group)</span></h2>
   <table id="grid-metrics" style="width:100%"><thead><tr>
     <th style="text-align:left">group</th><th style="text-align:left">metric</th>
@@ -592,6 +599,23 @@ function redrawGrid(view, last, colors) {
     tile(g.requeues, 'requeues'),
     tile(g.workers_lost, 'workers lost'),
   ].join('');
+
+  const qa = last.queue_age;
+  document.getElementById('fleet-queue').textContent =
+    qa && qa.n ? `— queue age p50 ${fmt(qa.p50, 1)}s · ` +
+      `p95 ${fmt(qa.p95, 1)}s · ${qa.n} queued` : '';
+  const fleetBody = document.querySelector('#fleet tbody');
+  fleetBody.innerHTML = (last.workers || []).map(w =>
+    `<tr><td style="text-align:left">${w.id}</td>` +
+    `<td style="text-align:left">${w.alive ? 'alive' :
+      (w.retired ? 'retired' : 'LOST')}</td>` +
+    `<td>${fmt(w.beat_age_s, 1)}s</td><td>${w.cells}</td>` +
+    `<td>${w.retries_charged}</td>` +
+    `<td>${w.events_per_s ? fmt(w.events_per_s, 0) : '—'}</td>` +
+    `<td>${w.rtt_ms == null ? '—' : fmt(w.rtt_ms, 1)}</td>` +
+    `<td style="text-align:left">${w.unit ?
+      w.unit.slice(0, 12) : (w.alive ? 'idle' : '')}</td></tr>`
+  ).join('') || '<tr><td colspan=8>no workers connected yet…</td></tr>';
 
   const tbody = document.querySelector('#grid-metrics tbody');
   const rows = [];

@@ -25,6 +25,25 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.obs import Observability
 
 
+def _callback_names(callback: Callable[[], None]) -> tuple:
+    """``(module, qualname)`` of an event callback, for attribution.
+
+    Falls back through ``functools.partial``-style wrappers; never
+    raises -- odd callables attribute to ``("unknown", <typename>)``.
+    """
+    module = getattr(callback, "__module__", None)
+    qualname = getattr(callback, "__qualname__", None)
+    if module is None or qualname is None:
+        func = getattr(callback, "func", None)
+        if module is None:
+            module = getattr(func, "__module__", "unknown") or "unknown"
+        if qualname is None:
+            qualname = (
+                getattr(func, "__qualname__", None) or type(callback).__name__
+            )
+    return module, qualname
+
+
 @dataclass(order=True)
 class Event:
     """A scheduled callback.
@@ -93,6 +112,11 @@ class Simulator:
         #: until :meth:`enable_event_accounting` -- the bench profiler
         #: turns it on, normal runs keep the hot loop check-free
         self._event_counts: Optional[Dict[str, int]] = None
+        #: wall-time profiler (:class:`repro.obs.prof.Profiler`); None
+        #: until :meth:`enable_profiling`.  Like accounting, profiling
+        #: only observes the loop -- the fast path stays check-free
+        #: because :meth:`run` picks the instrumented loop up front.
+        self.prof: Optional[Any] = None
         #: observability handle shared by every subsystem on this
         #: simulator; tracing is off until ``obs.enable_tracing()``
         self.obs = Observability(clock=lambda: self.now)
@@ -211,6 +235,9 @@ class Simulator:
         still commits a step); only the Event objects and their callback
         closures are reclaimed.
         """
+        prof = self.prof
+        if prof is not None:
+            prof.push("engine.compact", subsystem="repro.sim.engine")
         live: List[Event] = []
         ghosts = self._ghosts
         for event in self._queue:
@@ -219,10 +246,13 @@ class Simulator:
                 ghosts.append((event.time, event.priority, event.seq))
             else:
                 live.append(event)
+        evicted = len(self._queue) - len(live)
         self._queue[:] = live
         heapq.heapify(self._queue)
         heapq.heapify(ghosts)
         self._tombstones = 0
+        if prof is not None:
+            prof.note_compaction(evicted, prof.pop())
 
     def step(self) -> bool:
         """Process the next event.  Returns False when queue is empty.
@@ -250,14 +280,21 @@ class Simulator:
                 raise RuntimeError("event queue went backwards in time")
             self.now = max(self.now, event.time)
             counts = self._event_counts
-            if counts is not None:
-                callback = event.callback
-                module = getattr(callback, "__module__", None)
-                if module is None:  # partials / odd callables
-                    module = getattr(
-                        getattr(callback, "func", None), "__module__", "unknown"
-                    ) or "unknown"
-                counts[module] = counts.get(module, 0) + 1
+            prof = self.prof
+            if counts is not None or prof is not None:
+                module, qualname = _callback_names(event.callback)
+                if counts is not None:
+                    counts[module] = counts.get(module, 0) + 1
+                if prof is not None:
+                    prof.begin_event(module, qualname)
+                    try:
+                        event.callback()
+                    finally:
+                        prof.end_event()
+                    self.events_processed += 1
+                    if prof.events % prof.gauge_sample_every == 0:
+                        prof.sample_engine(self)
+                    return True
             event.callback()
             self.events_processed += 1
             return True
@@ -266,8 +303,8 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Run until the queue drains, or ``until`` is reached."""
         self._stopped = False
-        if self._event_counts is not None:
-            # accounting pass (bench/trace runs): per-event module
+        if self._event_counts is not None or self.prof is not None:
+            # accounting/profiling pass (bench/prof runs): per-event
             # bookkeeping lives in step(), no need to be lean here
             processed = 0
             while not self._stopped:
@@ -367,6 +404,31 @@ class Simulator:
         """
         if self._event_counts is None:
             self._event_counts = {}
+
+    def disable_event_accounting(self) -> None:
+        """Stop accounting and drop the counts; :meth:`run` returns to
+        the fast path.  Idempotent."""
+        self._event_counts = None
+
+    def reset_event_accounting(self) -> None:
+        """Zero the counts but keep accounting on -- lets a capture
+        reuse one simulator across bench passes without the first
+        pass's events double-counting into the second.  No-op while
+        accounting is off."""
+        if self._event_counts is not None:
+            self._event_counts = {}
+
+    def enable_profiling(self, profiler: Any) -> None:
+        """Attach a :class:`repro.obs.prof.Profiler` to the dispatch
+        loop.  Like accounting this only observes; disable with
+        :meth:`disable_profiling`."""
+        if profiler is None:
+            raise ValueError("profiler must not be None")
+        self.prof = profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler; :meth:`run` returns to the fast path."""
+        self.prof = None
 
     @property
     def event_counts(self) -> Dict[str, int]:

@@ -605,10 +605,20 @@ class NetworkFabric:
             return
         dirty = self._dirty
         if dirty:
+            prof = self.sim.prof
             self._dirty = set()
             component = self._component_flows(dirty)
             if component:
-                rates = maxmin_flow_rates_fast(component, self._links)
+                if prof is not None:
+                    prof.gauge("net.dirty_links", len(dirty))
+                    prof.gauge("net.rebalance_component_flows", len(component))
+                    prof.push("net.maxmin_fill", subsystem="repro.sim.network")
+                    try:
+                        rates = maxmin_flow_rates_fast(component, self._links)
+                    finally:
+                        prof.pop()
+                else:
+                    rates = maxmin_flow_rates_fast(component, self._links)
                 for flow, rate in zip(component, rates):
                     flow.rate = rate
             # loopback channels are per-source-host and share with
@@ -638,7 +648,16 @@ class NetworkFabric:
                     live.append(flow)
         else:
             live = list(self._flows)
-        rates = maxmin_flow_rates_fast(live, self._links)
+        prof = self.sim.prof
+        if prof is not None:
+            prof.gauge("net.rebalance_full_flows", len(live))
+            prof.push("net.maxmin_fill", subsystem="repro.sim.network")
+            try:
+                rates = maxmin_flow_rates_fast(live, self._links)
+            finally:
+                prof.pop()
+        else:
+            rates = maxmin_flow_rates_fast(live, self._links)
         for flow, rate in zip(live, rates):
             flow.rate = rate
         # loopback flows share the per-host loopback channel equally

@@ -32,7 +32,8 @@ from typing import Optional
 import repro
 
 #: bump to invalidate every cached cell regardless of repro version
-CACHE_SCHEMA = 1
+#: (2: cell documents grew the ``events`` telemetry field)
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = ".repro-sweep-cache"
 

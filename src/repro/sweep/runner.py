@@ -64,6 +64,10 @@ def execute_cell(config: dict) -> dict:
         "result": json.loads(json.dumps(result, sort_keys=True)),
         "metrics": capture.combined_snapshot(),
         "wall_s": wall_s,
+        # simulator events processed: with wall_s this gives the grid
+        # per-worker events/sec.  Deterministic, but stripped (like
+        # wall_s) from the canonical projection's field allow-list.
+        "events": sims.total_events(),
     }
     if config.get("blame"):
         blame = sims.combined_blame()["total"]

@@ -9,8 +9,10 @@ from repro.cluster.cluster import Cluster
 from repro.mapreduce.cluster import MapReduceCluster
 from repro.obs.bench import (
     DEFAULT_CELLS,
+    archive_report,
     compare_reports,
     format_bench,
+    format_compare_table,
     result_digest,
     run_bench,
     run_cell,
@@ -179,6 +181,40 @@ def test_compare_reports_validates_tolerance():
         compare_reports(_fake_report(), _fake_report(), -0.1)
 
 
+def test_format_compare_table_shows_deltas_and_blame_shift():
+    baseline = _fake_report(events_per_s=1000.0)
+    baseline["cells"]["fig10"]["blame_pct"] = {"compute": 80.0, "shuffle_wait": 20.0}
+    baseline["totals"] = {"events_per_s": 1000.0}
+    current = _fake_report(events_per_s=500.0)
+    current["cells"]["fig10"]["events"] = 110
+    current["cells"]["fig10"]["blame_pct"] = {"compute": 60.0, "shuffle_wait": 40.0}
+    current["cells"]["dropped_cell"] = None  # exercise asymmetric sets
+    del current["cells"]["dropped_cell"]
+    current["totals"] = {"events_per_s": 500.0}
+    table = format_compare_table(baseline, current)
+    assert "fig10" in table
+    assert "-50.0%" in table  # per-cell events/s delta
+    assert "shuffle_wait +20.0pp" in table or "compute -20.0pp" in table
+    assert "1,000 -> 500" in table  # totals line
+
+
+def test_archive_report_appends_history(tmp_path):
+    report = _fake_report()
+    report["totals"] = {"events_per_s": 1000.0}
+    directory = str(tmp_path / "traj")
+    first = archive_report(report, directory)
+    second = archive_report(
+        dict(report, totals={"events_per_s": 2000.0}), directory
+    )
+    assert first != second
+    with open(first) as fh:
+        assert json.load(fh)["cells"]["fig10"]["events"] == 100
+    with open(f"{directory}/index.jsonl") as fh:
+        lines = [json.loads(line) for line in fh]
+    assert [e["total_events_per_s"] for e in lines] == [1000.0, 2000.0]
+    assert all(e["events_per_s"]["fig10"] == 1000.0 for e in lines)
+
+
 # ----------------------------------------------------------------------
 # CLI: repro bench --compare exits non-zero on a synthetic regression
 # ----------------------------------------------------------------------
@@ -186,17 +222,29 @@ def test_cli_bench_compare_gate(tmp_path, capsys):
     from repro.cli import main
 
     out = tmp_path / "BENCH.json"
+    traj = tmp_path / "traj"
     rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
-               "--out", str(out)])
+               "--out", str(out), "--trajectory-dir", str(traj)])
     assert rc == 0
     report = json.loads(out.read_text())
     assert report["cells"]["fig10"]["events_per_s"] > 0
+    # each run lands in the trajectory archive (file + index line)
+    archived = list(traj.glob("bench-*.json"))
+    assert len(archived) == 1
+    index_lines = (traj / "index.jsonl").read_text().splitlines()
+    assert len(index_lines) == 1
+    assert json.loads(index_lines[0])["events_per_s"]["fig10"] > 0
 
-    # self-compare passes the gate
+    # self-compare passes the gate (generous tolerance: this pins the
+    # gate mechanics, not this machine's timing stability)
     rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
-               "--out", "", "--compare", str(out)])
+               "--out", "", "--trajectory-dir", "none",
+               "--compare", str(out), "--tolerance", "0.9"])
     assert rc == 0
-    assert "bench OK" in capsys.readouterr().out
+    captured = capsys.readouterr().out
+    assert "bench OK" in captured
+    assert "bench vs baseline" in captured  # the per-cell delta table
+    assert list(traj.glob("bench-*.json")) == archived  # 'none' skips
 
     # inject a synthetic regression: baseline claims 100x the speed
     doctored = copy.deepcopy(report)
@@ -204,6 +252,7 @@ def test_cli_bench_compare_gate(tmp_path, capsys):
     baseline = tmp_path / "BASELINE.json"
     baseline.write_text(json.dumps(doctored))
     rc = main(["bench", "fig10", "--scale", "tiny", "--seed", "1",
-               "--out", "", "--compare", str(baseline)])
+               "--out", "", "--trajectory-dir", "none",
+               "--compare", str(baseline)])
     assert rc == 1
     assert "FAIL" in capsys.readouterr().err

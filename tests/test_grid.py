@@ -264,6 +264,138 @@ def test_grid_progress_frames_accumulate_groups():
 
 
 # ----------------------------------------------------------------------
+# fleet-health telemetry (worker snapshots, queue age, status CLI)
+# ----------------------------------------------------------------------
+def test_heartbeat_carries_optional_rtt():
+    msg = protocol.heartbeat("w", "k", rtt_ms=3.14159)
+    assert msg["rtt_ms"] == 3.142
+    assert "rtt_ms" not in protocol.heartbeat("w", "k")
+    # extra fields survive the wire (old coordinators just ignore them)
+    buf = io.BytesIO()
+    protocol.send_msg(buf, msg)
+    buf.seek(0)
+    assert protocol.recv_msg(buf)["rtt_ms"] == 3.142
+
+
+def test_worker_snapshots_track_fleet_health():
+    state = StudyState(make_units(2))
+    state.mark_queued(0.0)
+    state.register_worker("a", now=0.0)
+    state.register_worker("b", now=0.0)
+    unit = state.claim("a", now=0.0)
+    state.beat("a", now=1.0, rtt_ms=4.25)
+    doc = dict(fake_execute(unit.config), events=5000, wall_s=2.5)
+    state.complete(unit.key, doc)
+
+    a, b = state.worker_snapshots(now=2.0)
+    assert a["id"] == "a" and a["alive"]
+    assert a["beat_age_s"] == pytest.approx(1.0)
+    assert a["unit"] is None  # completed, back to idle
+    assert a["cells"] == 1 and a["events"] == 5000
+    assert a["busy_s"] == pytest.approx(2.5)
+    assert a["events_per_s"] == pytest.approx(2000.0)
+    assert a["rtt_ms"] == pytest.approx(4.25)
+    assert b["cells"] == 0 and b["events_per_s"] == 0.0
+    assert b["rtt_ms"] is None
+    assert b["beat_age_s"] == pytest.approx(2.0)
+
+    # a bounced attempt is charged to the worker that held the unit,
+    # and the requeue re-stamps the unit's queue entry time
+    unit2 = state.claim("a", now=2.0)
+    state.fail(unit2.key, now=2.0, reason="boom")
+    snapshots = state.worker_snapshots(now=2.0)
+    assert snapshots[0]["retries_charged"] == 1
+    assert snapshots[1]["retries_charged"] == 0
+    assert state.unit_for(unit2.key).queued_at == pytest.approx(2.0)
+
+    # an orderly retirement is distinguishable from a loss
+    state.retire_worker("b")
+    a, b = state.worker_snapshots(now=3.0)
+    assert not b["alive"] and b["retired"]
+    assert not a["retired"]
+
+
+def test_queue_age_stats_percentiles():
+    state = StudyState(make_units(4))
+    state.mark_queued(0.0)
+    state.register_worker("a", now=0.0)
+    state.claim("a", now=0.0)  # inflight units are excluded
+    for unit, queued_at in zip(state.units[1:], (2.0, 4.0, 6.0)):
+        unit.queued_at = queued_at
+    stats = state.queue_age_stats(now=10.0)
+    assert stats["n"] == 3
+    assert stats["p50"] == pytest.approx(6.0)
+    assert stats["max"] == pytest.approx(8.0)
+    assert stats["p95"] >= stats["p50"]
+    empty = StudyState([]).queue_age_stats(now=1.0)
+    assert empty == {"n": 0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+
+def test_grid_progress_frame_carries_fleet_telemetry():
+    progress = GridProgress("study", total_cells=1, sink=lambda f: None)
+    workers = [{"id": "w0", "alive": True}]
+    queue_age = {"n": 1, "p50": 0.5, "p95": 0.5, "max": 0.5}
+    frame = progress.frame(
+        ts=1.0, counts={}, workers=workers, queue_age=queue_age
+    )
+    assert frame["workers"] == workers
+    assert frame["queue_age"] == queue_age
+    bare = progress.frame(ts=2.0, counts={})
+    assert "workers" not in bare and "queue_age" not in bare
+
+
+def test_cli_grid_status_renders_fleet_panel(tmp_path, capsys):
+    from repro.cli import main
+
+    frame = {
+        "type": "frame", "schema": protocol.PROTOCOL,
+        "study": "s", "ts": 12.0, "seq": 3,
+        "grid": {"completed": 1, "cells": 4, "cache_hits": 0, "failed": 0,
+                 "inflight": 1, "queued": 2, "workers": 2,
+                 "workers_lost": 1, "requeues": 1, "done": False},
+        "wall_s": {"n": 1, "mean": 2.0, "p95": 2.0},
+        "queue_age": {"n": 2, "p50": 3.0, "p95": 5.0, "max": 5.5},
+        "workers": [
+            {"id": "w0", "alive": True, "beat_age_s": 0.4,
+             "unit": "fig01@tiny seed=2", "cells": 1, "retries_charged": 1,
+             "events": 5000, "busy_s": 2.5, "events_per_s": 2000.0,
+             "rtt_ms": 4.2},
+            {"id": "w1", "alive": False, "beat_age_s": 9.0, "unit": None,
+             "cells": 0, "retries_charged": 0, "events": 0, "busy_s": 0.0,
+             "events_per_s": 0.0, "rtt_ms": None},
+        ],
+        "groups": [],
+    }
+    path = tmp_path / "frames.jsonl"
+    path.write_text(json.dumps(frame) + "\n")
+    assert main(["grid", "status", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "queue age    p50 3.0s / p95 5.0s / max 5.5s over 2 queued" in out
+    assert "worker w0" in out and "beat 0.4s ago" in out
+    assert "on fig01@tiny s" in out  # unit label truncated for the row
+    assert "1 retries charged, 2,000 ev/s, rtt 4.2ms" in out
+    assert "worker w1" in out and "LOST" in out and "idle" in out
+
+
+def test_grid_study_frames_include_fleet_telemetry(tmp_path):
+    frames = []
+    spec = cheap_spec(seeds=(1, 2))
+    cache = ResultCache(tmp_path / "c")
+    coord = Coordinator(
+        spec, cache, backoff_s=0.05, frame_sink=frames.append
+    ).start()
+    thread = worker_thread(coord, "t0")
+    report = coord.run()
+    thread.join(timeout=5.0)
+    assert report["totals"]["executed"] == 2
+    final = frames[-1]
+    assert final["grid"]["done"] is True
+    assert final["queue_age"]["n"] == 0  # drained
+    (worker,) = final["workers"]
+    assert worker["id"] == "t0" and worker["cells"] == 2
+
+
+# ----------------------------------------------------------------------
 # coordinator + workers over real sockets (injected execute)
 # ----------------------------------------------------------------------
 def test_grid_study_completes_with_threaded_workers(tmp_path):

@@ -1,0 +1,350 @@
+"""repro.obs.prof: frame math, digest invariance, flamegraphs, CLI."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs.bench import result_digest
+from repro.obs.capture import SimCapture
+from repro.obs.prof import (
+    Profiler,
+    collapsed_stacks,
+    compare_profiles,
+    run_profile,
+    speedscope_doc,
+    validate_speedscope,
+    write_speedscope,
+)
+from repro.sim.engine import Simulator, _callback_names
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: advance() by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+# the frame stack: self/cumulative arithmetic
+# ----------------------------------------------------------------------
+def test_self_and_cumulative_split_with_nested_frames():
+    clock = FakeClock()
+    prof = Profiler(granularity="full", clock=clock)
+    prof.begin_event("repro.sim.network", "NetworkFabric._tick")
+    clock.advance(1.0)  # callback's own work before the fill
+    prof.push("net.maxmin_fill", subsystem="repro.sim.network")
+    clock.advance(3.0)  # inside the fill
+    prof.pop()
+    clock.advance(2.0)  # callback's own work after the fill
+    prof.end_event()
+
+    subs = prof.subsystem_table()
+    net = subs["repro.sim.network"]
+    assert net["cum_s"] == pytest.approx(6.0)
+    assert net["self_s"] == pytest.approx(6.0)  # 3.0 frame + 3.0 root
+    assert prof.dispatch_wall_s == pytest.approx(6.0)
+    frames = prof.snapshot()["frames"]
+    assert frames["net.maxmin_fill"]["self_s"] == pytest.approx(3.0)
+    # flamegraph stacks: root-only self 3.0, nested 3.0
+    stacks = {tuple(e["stack"]): e["self_s"] for e in prof.stack_table()}
+    root = "repro.sim.network:NetworkFabric._tick"
+    assert stacks[(root,)] == pytest.approx(3.0)
+    assert stacks[(root, "net.maxmin_fill")] == pytest.approx(3.0)
+
+
+def test_nested_frame_charges_its_own_subsystem():
+    clock = FakeClock()
+    prof = Profiler(clock=clock)
+    prof.begin_event("repro.mapreduce.task", "TaskAttempt._fetch")
+    clock.advance(1.0)
+    # the fabric's fill runs on behalf of a task callback: its self
+    # time must land on the network subsystem, not the task's
+    prof.push("net.maxmin_fill", subsystem="repro.sim.network")
+    clock.advance(4.0)
+    prof.pop()
+    prof.end_event()
+    subs = prof.subsystem_table()
+    assert subs["repro.sim.network"]["self_s"] == pytest.approx(4.0)
+    assert subs["repro.mapreduce.task"]["self_s"] == pytest.approx(1.0)
+    assert subs["repro.mapreduce.task"]["cum_s"] == pytest.approx(5.0)
+
+
+def test_frames_outside_dispatch_count_as_outside_wall():
+    clock = FakeClock()
+    prof = Profiler(clock=clock)
+    with prof.frame("net.maxmin_fill", subsystem="repro.sim.network"):
+        clock.advance(2.0)
+    assert prof.dispatch_wall_s == 0.0
+    assert prof.outside_wall_s == pytest.approx(2.0)
+    assert prof.attributed_wall_s == pytest.approx(2.0)
+
+
+def test_coarse_granularity_keys_roots_by_module():
+    clock = FakeClock()
+    prof = Profiler(granularity="coarse", clock=clock)
+    prof.begin_event("repro.sim.network", "NetworkFabric._tick")
+    clock.advance(1.0)
+    prof.end_event()
+    snap = prof.snapshot()
+    assert snap["callbacks"] == []  # per-callback table is full-only
+    assert [e["stack"] for e in snap["stacks"]] == [["repro.sim.network"]]
+
+
+def test_gauges_track_n_min_max_last():
+    prof = Profiler()
+    for value in (5.0, 1.0, 3.0):
+        prof.gauge("engine.queue_depth", value)
+    g = prof.snapshot()["gauges"]["engine.queue_depth"]
+    assert g == {"n": 3, "mean": 3.0, "min": 1.0, "max": 5.0, "last": 3.0}
+
+
+def test_profiler_rejects_bad_config():
+    with pytest.raises(ValueError):
+        Profiler(granularity="verbose")
+    with pytest.raises(ValueError):
+        Profiler(gauge_sample_every=0)
+
+
+def test_callback_names_resolves_partials_and_lambdas():
+    import functools
+
+    def plain():
+        pass
+
+    module, qual = _callback_names(plain)
+    assert module == __name__ and "plain" in qual
+    module, qual = _callback_names(functools.partial(plain))
+    assert "plain" in qual  # qualname recovered through .func
+
+    class Odd:
+        __module__ = None  # type: ignore[assignment]
+
+        def __call__(self):
+            pass
+
+    module, qual = _callback_names(Odd())
+    assert module == "unknown" and qual == "Odd"
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+def test_engine_profiles_events_and_samples_gauges():
+    prof = Profiler(gauge_sample_every=1)
+    sim = Simulator(seed=3)
+    sim.enable_profiling(prof)
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert prof.events == 3
+    assert prof.dispatch_wall_s >= 0.0
+    gauges = prof.snapshot()["gauges"]
+    assert gauges["engine.queue_depth"]["n"] == 3
+    assert gauges["engine.live_events"]["last"] == 0.0
+    sim.disable_profiling()
+    assert sim.prof is None
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert prof.events == 3  # detached: no further attribution
+
+
+def test_event_accounting_disable_and_reset():
+    sim = Simulator(seed=1)
+    sim.enable_event_accounting()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    first = sim.event_counts
+    assert sum(first.values()) == 1
+    # reset zeroes the counts but keeps accounting on: a second pass
+    # on the same simulator must not double-count the first
+    sim.reset_event_accounting()
+    assert sim.event_counts == {}
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sum(sim.event_counts.values()) == 1
+    sim.disable_event_accounting()
+    assert sim.event_counts == {}
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.event_counts == {}  # off: the fast path, no counting
+    sim.reset_event_accounting()  # no-op while disabled
+    assert sim.event_counts == {}
+
+
+def test_compaction_is_attributed_when_profiled():
+    prof = Profiler()
+    sim = Simulator(seed=5)
+    sim.enable_profiling(prof)
+    events = [sim.schedule(10.0 + i, lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()  # tombstones > live -> in-place compaction
+    assert prof.compactions >= 1
+    assert prof.snapshot()["gauges"]["engine.compact_evicted"]["max"] > 0
+    sim.run()
+
+
+# ----------------------------------------------------------------------
+# the house invariant: profiling never perturbs same-seed results
+# (satellite: parametrized across cells x observability stackups)
+# ----------------------------------------------------------------------
+def _run_cell_with(figure, seed, mode):
+    from repro.experiments.common import resolve_scale
+    from repro.sweep.cells import load
+
+    fn = load(figure)
+    scale = resolve_scale("tiny")
+    if mode == "none":
+        with SimCapture():
+            return result_digest(fn(scale, seed))
+    profiler = Profiler(
+        granularity="coarse" if mode == "coarse" else "full",
+        gauge_sample_every=64,
+        trace_memory=(mode == "everything"),
+    )
+    tracing = accounting = mode == "everything"
+    if mode == "everything" and not tracemalloc.is_tracing():
+        tracemalloc.start()
+    try:
+        with SimCapture(
+            tracing=tracing, accounting=accounting, profiler=profiler
+        ):
+            result = fn(scale, seed)
+    finally:
+        if mode == "everything":
+            tracemalloc.stop()
+    assert profiler.events > 0
+    return result_digest(result)
+
+
+@pytest.mark.parametrize("figure", ["fabric", "fig10"])
+def test_profiling_never_perturbs_digests(figure):
+    digests = {
+        mode: _run_cell_with(figure, seed=1, mode=mode)
+        for mode in ("none", "coarse", "full", "everything")
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+# ----------------------------------------------------------------------
+# run_profile + the ProfileReport contract
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fabric_profile():
+    return run_profile(
+        "fabric_micro", scale="tiny", seed=1,
+        granularity="full", trace_malloc=True,
+    )
+
+
+def test_run_profile_report_shape(fabric_profile):
+    report = fabric_profile
+    assert report["schema"] == "repro.prof/1"
+    assert report["cell"] == "fabric"  # alias resolved
+    assert report["digest_consistent"]
+    assert report["events"] > 0 and report["events_per_s"] > 0
+    assert report["simulators"] == 1
+    # the acceptance bar: per-subsystem self time sums (within 1%) to
+    # the total attributed dispatch wall time
+    total = report["dispatch_wall_s"] + report["outside_wall_s"]
+    self_sum = sum(s["self_s"] for s in report["subsystems"].values())
+    assert abs(self_sum - total) <= 0.01 * total
+    assert "repro.sim.network" in report["subsystems"]
+    assert any(
+        c["name"].startswith("repro.sim.network:")
+        for c in report["callbacks"]
+    )
+    assert report["frames"]["net.maxmin_fill"]["count"] > 0
+    gauges = report["gauges"]
+    for name in ("engine.queue_depth", "engine.tombstone_ratio",
+                 "net.rebalance_component_flows", "net.dirty_links"):
+        assert gauges[name]["n"] > 0, name
+    memory = report["memory"]
+    assert memory["samples"] > 0 and memory["peak_kb"] > 0
+    assert memory["phases"] and all(
+        p["peak_kb_max"] >= p["current_kb_mean"] > 0
+        for p in memory["phases"]
+    )
+
+
+def test_flamegraph_exports(fabric_profile, tmp_path):
+    collapsed = collapsed_stacks(fabric_profile)
+    lines = collapsed.strip().splitlines()
+    assert lines
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+        assert all(part for part in stack.split(";"))
+    assert any("net.maxmin_fill" in line for line in lines)
+
+    doc = speedscope_doc(fabric_profile)
+    n = validate_speedscope(doc)
+    # collapsed drops sub-microsecond stacks; speedscope keeps them
+    assert n >= len(lines) > 0
+    total = sum(doc["profiles"][0]["weights"])
+    assert total == pytest.approx(
+        fabric_profile["dispatch_wall_s"] + fabric_profile["outside_wall_s"],
+        rel=0.02,
+    )
+    path = tmp_path / "prof.speedscope.json"
+    assert write_speedscope(str(path), fabric_profile) == n
+    validate_speedscope(json.loads(path.read_text()))
+
+
+def test_validate_speedscope_rejects_malformed(fabric_profile):
+    doc = speedscope_doc(fabric_profile)
+    with pytest.raises(ValueError):
+        validate_speedscope({"profiles": []})
+    bad = json.loads(json.dumps(doc))
+    bad["profiles"][0]["samples"][0] = [len(bad["shared"]["frames"]) + 5]
+    with pytest.raises(ValueError):
+        validate_speedscope(bad)
+
+
+def test_compare_profiles_gate(fabric_profile):
+    report = fabric_profile
+    failures, _notes = compare_profiles(report, report, tolerance=0.25)
+    assert failures == []
+    slower = dict(report, events_per_s=report["events_per_s"] * 0.1)
+    failures, _notes = compare_profiles(report, slower, tolerance=0.25)
+    assert any("regressed" in f for f in failures)
+    perturbed = dict(report, digest_consistent=False)
+    failures, _notes = compare_profiles(report, perturbed, tolerance=0.25)
+    assert any("perturbed" in f for f in failures)
+    with pytest.raises(ValueError):
+        compare_profiles(report, report, tolerance=1.0)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_prof_writes_report_and_flamegraphs(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "PROF.json"
+    flame = tmp_path / "prof.flame"
+    scope = tmp_path / "prof.speedscope.json"
+    rc = main(["prof", "--cell", "fabric_micro", "--scale", "tiny",
+               "--seed", "1", "--out", str(out),
+               "--flame", str(flame), "--speedscope", str(scope)])
+    assert rc == 0
+    assert "per-subsystem wall time" in capsys.readouterr().out
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro.prof/1"
+    assert report["digest_consistent"]
+    assert flame.read_text().strip()
+    validate_speedscope(json.loads(scope.read_text()))
+
+    # self-compare passes the dossier gate with a generous tolerance
+    rc = main(["prof", "--cell", "fabric_micro", "--scale", "tiny",
+               "--seed", "1", "--out", "", "--tolerance", "0.9",
+               "--compare", str(out)])
+    assert rc == 0
+    assert "prof OK" in capsys.readouterr().out
