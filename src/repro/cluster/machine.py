@@ -231,21 +231,41 @@ class ExecutionContext:
         return done
 
     def refresh_entries(self) -> None:
-        """Re-apply efficiency/caps to in-flight work after a change."""
+        """Re-apply efficiency/caps to in-flight work after a change.
+
+        Runs as one batched update per pool (see
+        :meth:`~repro.sim.pool.ResourcePool.begin_batch`): the whole
+        refresh costs one rebalance per touched pool instead of one per
+        entry mutation.
+        """
         self._cpu_entries[:] = [e for e in self._cpu_entries if not e.done]
         self._disk_entries[:] = [e for e in self._disk_entries if not e.done]
         self._memio_entries[:] = [e for e in self._memio_entries if not e.done]
-        live = {id(e) for e in self._disk_entries}
-        self._disk_penalties = {
-            k: v for k, v in self._disk_penalties.items() if k in live
-        }
-        cpu_eff = self._combined_cpu_eff()
-        for entry in self._cpu_entries:
-            entry.set_efficiency(cpu_eff)
-        base_eff = self.disk_efficiency() * self.degrade_disk_factor
-        for entry in self._disk_entries:
-            penalty = self._disk_penalties.get(id(entry), 0.0)
-            entry.set_efficiency(max(0.05, base_eff - penalty))
+        if self._disk_entries or self._disk_penalties:
+            live = {id(e) for e in self._disk_entries}
+            self._disk_penalties = {
+                k: v for k, v in self._disk_penalties.items() if k in live
+            }
+        pools = []
+        if self._cpu_entries:
+            pools.append(self._pm.cpu_pool)
+        if self._disk_entries:
+            pools.append(self._pm.disk_pool)
+        for pool in pools:
+            pool.begin_batch()
+        try:
+            if self._cpu_entries:
+                cpu_eff = self._combined_cpu_eff()
+                for entry in self._cpu_entries:
+                    entry.set_efficiency(cpu_eff)
+            if self._disk_entries:
+                base_eff = self.disk_efficiency() * self.degrade_disk_factor
+                for entry in self._disk_entries:
+                    penalty = self._disk_penalties.get(id(entry), 0.0)
+                    entry.set_efficiency(max(0.05, base_eff - penalty))
+        finally:
+            for pool in pools:
+                pool.end_batch()
 
     @property
     def active_cpu_entries(self) -> int:

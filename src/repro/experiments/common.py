@@ -42,10 +42,19 @@ TINY = Scale("tiny", pms=4, vms_per_pm=2, input_fraction=0.08)
 SMALL = Scale("small", pms=8, vms_per_pm=2, input_fraction=0.15)
 MEDIUM = Scale("medium", pms=12, vms_per_pm=2, input_fraction=0.4)
 PAPER = Scale("paper", pms=24, vms_per_pm=2, input_fraction=1.0)
+# datacenter scales: event-core targets well past the paper's testbed.
+# Paper figures are not reported here -- cells that run at these sizes
+# (the ``scale-smoke`` cell) bound their own work explicitly rather
+# than deriving it from input_fraction, which multiplies hosts only.
+LARGE = Scale("large", pms=5_000, vms_per_pm=2, input_fraction=0.08)
+HUGE = Scale("huge", pms=50_000, vms_per_pm=2, input_fraction=0.08)
 
 #: every named scale, as referenced by the CLI and sweep specs.  TINY
-#: exists for smoke runs and tests; figures are reported at SMALL+.
-SCALES: Dict[str, Scale] = {s.name: s for s in (TINY, SMALL, MEDIUM, PAPER)}
+#: exists for smoke runs and tests; figures are reported at SMALL+;
+#: LARGE (10k hosts) and HUGE (100k hosts) exercise the event core.
+SCALES: Dict[str, Scale] = {
+    s.name: s for s in (TINY, SMALL, MEDIUM, PAPER, LARGE, HUGE)
+}
 
 
 def resolve_scale(name) -> Scale:

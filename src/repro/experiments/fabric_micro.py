@@ -83,15 +83,19 @@ def run(
 
     def pump(dst: str) -> None:
         queue = queues[state["wave"]][dst]
-        while state["inflight"][dst] < parallel_fetches and queue:
-            src, mb = queue.pop(0)
-            state["inflight"][dst] += 1
-            state["started"] += 1
-            fabric.start_flow(
-                src, dst, mb,
-                on_complete=lambda dst=dst: fetched(dst),
-                label=f"w{state['wave']}:{src}->{dst}",
-            )
+        fabric.begin_batch()  # one fill per pump burst
+        try:
+            while state["inflight"][dst] < parallel_fetches and queue:
+                src, mb = queue.pop(0)
+                state["inflight"][dst] += 1
+                state["started"] += 1
+                fabric.start_flow(
+                    src, dst, mb,
+                    on_complete=lambda dst=dst: fetched(dst),
+                    label=f"w{state['wave']}:{src}->{dst}",
+                )
+        finally:
+            fabric.end_batch()
 
     def fetched(dst: str) -> None:
         state["inflight"][dst] -= 1
@@ -115,21 +119,27 @@ def run(
     def begin_wave() -> None:
         wave = state["wave"]
         state["left"] = sum(len(q) for q in queues[wave].values())
-        # a doomed batch that transfers until the wave barrier kills it
-        for i in range(doomed_per_wave):
-            src = hosts[i % len(hosts)]
-            dst = hosts[(i + 1) % len(hosts)]
-            state["doomed"].append(
-                fabric.start_flow(src, dst, 1e6, label=f"doomed{wave}.{i}")
-            )
-        if wave == 1:
-            # NIC flap on the first host for the whole wave
-            fabric.set_nic_scale(hosts[0], 0.5)
-        if wave == partition_wave and len(side_b) > 0:
-            fabric.partition(side_a, side_b)
-            sim.schedule(partition_heal_s, fabric.heal_partition)
-        for dst in hosts:
-            pump(dst)
+        # the whole wave launch (doomed batch, fault pulses, every
+        # reducer's first pump burst) shares a single closing fill
+        fabric.begin_batch()
+        try:
+            # a doomed batch that transfers until the wave barrier kills it
+            for i in range(doomed_per_wave):
+                src = hosts[i % len(hosts)]
+                dst = hosts[(i + 1) % len(hosts)]
+                state["doomed"].append(
+                    fabric.start_flow(src, dst, 1e6, label=f"doomed{wave}.{i}")
+                )
+            if wave == 1:
+                # NIC flap on the first host for the whole wave
+                fabric.set_nic_scale(hosts[0], 0.5)
+            if wave == partition_wave and len(side_b) > 0:
+                fabric.partition(side_a, side_b)
+                sim.schedule(partition_heal_s, fabric.heal_partition)
+            for dst in hosts:
+                pump(dst)
+        finally:
+            fabric.end_batch()
 
     sim.schedule(0.0, begin_wave)
     sim.run()

@@ -162,8 +162,7 @@ class InteractiveService:
         cpu_capacity = 0.0
         io_capacity = 0.0
         for vm, cpu, disk in zip(self.vms, self._cpu_entries, self._disk_entries):
-            vm.update_requested_cap(cpu, vm.spec.cpu_cores)
-            vm.update_requested_cap(disk, vm.spec.disk_mbps)
+            vm.update_requested_caps(((cpu, vm.spec.cpu_cores), (disk, vm.spec.disk_mbps)))
         for cpu, disk in zip(self._cpu_entries, self._disk_entries):
             cpu_capacity += cpu.rate * cpu.efficiency
             io_capacity += disk.rate * disk.efficiency
@@ -205,8 +204,7 @@ class InteractiveService:
         cpu_eq = lam * profile.cpu_per_req_s / n_vms
         io_eq = lam * profile.io_mb_per_req / n_vms
         for vm, cpu, disk in zip(self.vms, self._cpu_entries, self._disk_entries):
-            vm.update_requested_cap(cpu, cpu_eq)
-            vm.update_requested_cap(disk, io_eq)
+            vm.update_requested_caps(((cpu, cpu_eq), (disk, io_eq)))
 
     def _background_disk_utilization(self) -> float:
         """Disk utilization of the service's hosts from *other* tenants."""

@@ -8,16 +8,26 @@ slowdown as:
   capacity, then a steeper paging slope;
 - **I/O**: exponential in collocated I/O rate (Figure 6(c)).
 
-Each model exposes ``fit(x, y)`` / ``predict(x)``; fitting is pure
-numpy so the Phase II scheduler can refresh models online every epoch.
+Each model exposes ``fit(x, y)`` / ``predict(x)``; fitting is vectorized
+(numpy) when the optional extra is installed so the Phase II scheduler
+can refresh models online every epoch, with a pure-Python fallback that
+keeps numpy-less installs fully functional (see
+:mod:`repro.interference.regression` for the equivalence caveats).
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-import numpy as np
+try:  # optional extra (see pyproject ``[fast]``)
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less environments
+    np = None
+if os.environ.get("REPRO_PURE_PYTHON"):  # force the fallback (CI exercises it)
+    np = None
 
 from repro.interference.regression import fit_line, r_squared
 
@@ -61,33 +71,46 @@ class PiecewiseLinearModel:
         self.fitted = False
 
     def fit(self, x: Sequence[float], y: Sequence[float]) -> "PiecewiseLinearModel":
-        xs = np.asarray(x, dtype=float)
-        ys = np.asarray(y, dtype=float)
-        if xs.size != ys.size:
+        xs = list(map(float, x))
+        ys = list(map(float, y))
+        if len(xs) != len(ys):
             raise ValueError("x and y must have equal length")
-        if xs.size < 2 * self.min_segment:
+        if len(xs) < 2 * self.min_segment:
             # not enough data for two segments: degenerate single line
             self.left.fit(xs, ys)
             self.right = self.left
-            self.breakpoint = float(np.max(xs)) if xs.size else 0.0
+            self.breakpoint = max(xs) if xs else 0.0
             self.fitted = True
             return self
-        order = np.argsort(xs)
-        xs, ys = xs[order], ys[order]
-        best_err = np.inf
+        order = sorted(range(len(xs)), key=xs.__getitem__)
+        xs = [xs[i] for i in order]
+        ys = [ys[i] for i in order]
+        if np is not None:
+            axs = np.asarray(xs, dtype=float)
+            ays = np.asarray(ys, dtype=float)
+        best_err = math.inf
         best = None
-        for split in range(self.min_segment, xs.size - self.min_segment + 1):
+        for split in range(self.min_segment, len(xs) - self.min_segment + 1):
             lx, ly = xs[:split], ys[:split]
             rx, ry = xs[split:], ys[split:]
             ls, li = fit_line(lx, ly)
             rs, ri = fit_line(rx, ry)
-            err = float(
-                np.sum((ly - (ls * lx + li)) ** 2)
-                + np.sum((ry - (rs * rx + ri)) ** 2)
-            )
+            if np is not None:
+                alx, aly = axs[:split], ays[:split]
+                arx, ary = axs[split:], ays[split:]
+                err = float(
+                    np.sum((aly - (ls * alx + li)) ** 2)
+                    + np.sum((ary - (rs * arx + ri)) ** 2)
+                )
+            else:
+                err = math.fsum(
+                    (ly[i] - (ls * lx[i] + li)) ** 2 for i in range(len(lx))
+                ) + math.fsum(
+                    (ry[i] - (rs * rx[i] + ri)) ** 2 for i in range(len(rx))
+                )
             if err < best_err:
                 best_err = err
-                best = (float(xs[split - 1]), ls, li, rs, ri)
+                best = (xs[split - 1], ls, li, rs, ri)
         assert best is not None
         self.breakpoint, ls, li, rs, ri = best
         self.left.slope, self.left.intercept = ls, li
@@ -121,22 +144,26 @@ class ExponentialModel:
         self.fitted = False
 
     def fit(self, x: Sequence[float], y: Sequence[float]) -> "ExponentialModel":
-        xs = np.asarray(x, dtype=float)
-        ys = np.asarray(y, dtype=float)
-        if xs.size != ys.size:
+        xs = list(map(float, x))
+        ys = list(map(float, y))
+        if len(xs) != len(ys):
             raise ValueError("x and y must have equal length")
-        if xs.size == 0:
+        if not xs:
             raise ValueError("cannot fit an empty dataset")
-        self.c = float(np.min(ys)) * 0.95
-        shifted = np.maximum(ys - self.c, 1e-9)
-        slope, intercept = fit_line(xs, np.log(shifted))
+        self.c = min(ys) * 0.95
+        if np is not None:
+            shifted = np.maximum(np.asarray(ys, dtype=float) - self.c, 1e-9)
+            log_shifted = np.log(shifted)
+        else:
+            log_shifted = [math.log(max(v - self.c, 1e-9)) for v in ys]
+        slope, intercept = fit_line(xs, log_shifted)
         self.b = slope
-        self.a = float(np.exp(intercept))
+        self.a = math.exp(intercept)
         self.fitted = True
         return self
 
     def predict(self, x: float) -> float:
-        return self.a * float(np.exp(self.b * x)) + self.c
+        return self.a * math.exp(self.b * x) + self.c
 
     def score(self, x: Sequence[float], y: Sequence[float]) -> float:
         return r_squared(y, [self.predict(v) for v in x])

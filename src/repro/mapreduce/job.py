@@ -92,6 +92,10 @@ class Job:
         self.map_tasks: List["Task"] = []
         self.reduce_tasks: List["Task"] = []
         self.input_file: Optional[str] = None
+        #: attempts currently running across all tasks of this job;
+        #: maintained by TaskAttempt lifecycle transitions (the
+        #: schedulers rank on it every slot offer)
+        self.running_attempt_count = 0
         #: tracer span covering submit -> finish (None when tracing off)
         self.obs_span = None
 

@@ -251,12 +251,25 @@ class JobTracker:
     def _dispatch(self) -> None:
         self._dispatch_pending = False
         self._policy_skipped = False
+        # Round-local caches, maintained incrementally across the
+        # assignments of this round instead of being rebuilt per offer:
+        # PM load only grows within a round (each launch bumps it), and
+        # runnable lists only shrink (launched tasks are filtered out on
+        # the next hit via the cheap ``scheduled`` counter check).  Tasks
+        # that reopen or slots that free up mid-round are picked up by
+        # the next round -- every such transition calls
+        # request_dispatch(), so the drift window is one dispatch delay.
+        load_by_pm: Dict[int, int] = {}
+        for t in self.trackers:
+            key = id(t.context.pm)
+            load_by_pm[key] = load_by_pm.get(key, 0) + len(t.running)
+        runnable: Dict[Tuple[int, TaskKind], List[Task]] = {}
         progress = True
         while progress:
             progress = False
-            if self._assign_one(TaskKind.MAP):
+            if self._assign_one(TaskKind.MAP, load_by_pm, runnable):
                 progress = True
-            if self._assign_one(TaskKind.REDUCE):
+            if self._assign_one(TaskKind.REDUCE, load_by_pm, runnable):
                 progress = True
         if self._policy_skipped:
             # a policy declined every offer it got this round (delay
@@ -277,7 +290,12 @@ class JobTracker:
             return [t for t in self.trackers if t.free_map_slots() > 0]
         return [t for t in self.trackers if t.free_reduce_slots() > 0]
 
-    def _assign_one(self, kind: TaskKind) -> bool:
+    def _assign_one(
+        self,
+        kind: TaskKind,
+        load_by_pm: Optional[Dict[int, int]] = None,
+        runnable: Optional[Dict[Tuple[int, TaskKind], List[Task]]] = None,
+    ) -> bool:
         """Assign one task, emulating Hadoop's heartbeat discipline.
 
         The *tracker* is chosen first -- the free one on the least
@@ -286,18 +304,21 @@ class JobTracker:
         node-local, then host-local, then any pending task.  Choosing
         the tracker first spreads work across machines instead of
         packing every task onto the few nodes that hold replicas.
+
+        ``load_by_pm``/``runnable`` are the round caches built by
+        ``_dispatch``; when called standalone both are rebuilt fresh.
         """
         free = self._free_trackers(kind)
         if not free:
             return False
-        load_by_pm: Dict[int, int] = {}
-        for t in self.trackers:
-            key = id(t.context.pm)
-            load_by_pm.setdefault(key, 0)
-            load_by_pm[key] += len(t.running)
+        if load_by_pm is None:
+            load_by_pm = {}
+            for t in self.trackers:
+                key = id(t.context.pm)
+                load_by_pm[key] = load_by_pm.get(key, 0) + len(t.running)
         tracker = min(
             free,
-            key=lambda t: (load_by_pm[id(t.context.pm)], len(t.running), t.name),
+            key=lambda t: (load_by_pm.get(id(t.context.pm), 0), len(t.running), t.name),
         )
         scheduler = self.scheduler
         view = None
@@ -307,7 +328,17 @@ class JobTracker:
 
             view = ClusterView(self, kind)
         for job in scheduler.order(self.active_jobs, view):
-            tasks = self._runnable_tasks(job, kind)
+            if runnable is None:
+                tasks = self._runnable_tasks(job, kind)
+            else:
+                cache_key = (job.job_id, kind)
+                tasks = runnable.get(cache_key)
+                if tasks is None:
+                    tasks = self._runnable_tasks(job, kind)
+                    runnable[cache_key] = tasks
+                elif tasks and any(t.scheduled for t in tasks):
+                    # launched (or synchronously completed) since cached
+                    tasks[:] = [t for t in tasks if not t.scheduled]
             if not tasks:
                 continue
             task = None
@@ -321,6 +352,9 @@ class JobTracker:
             if task is None:
                 task = self._pick_task_for(tracker, tasks, kind)
             self._launch(task, tracker)
+            load_by_pm[id(tracker.context.pm)] = (
+                load_by_pm.get(id(tracker.context.pm), 0) + 1
+            )
             return True
         return False
 

@@ -43,14 +43,11 @@ def running_task_counts(jobs: Sequence["Job"]) -> Dict[int, int]:
 
     Keyed by ``job_id`` so schedulers can rank on current slot usage
     without re-walking every task list per comparison (the ordering is
-    called once per slot assignment, so this is the hot path).
+    called once per slot assignment, so this is the hot path).  Reads
+    the counter :class:`~repro.mapreduce.task.TaskAttempt` lifecycle
+    transitions maintain, so the round costs O(jobs), not O(tasks).
     """
-    counts: Dict[int, int] = {}
-    for job in jobs:
-        counts[job.job_id] = sum(
-            len(t.running_attempts) for t in job.map_tasks + job.reduce_tasks
-        )
-    return counts
+    return {job.job_id: job.running_attempt_count for job in jobs}
 
 
 class SlotScheduler:

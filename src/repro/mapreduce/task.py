@@ -28,7 +28,28 @@ class TaskKind(enum.Enum):
 
 
 class Task:
-    """A logical map or reduce task."""
+    """A logical map or reduce task.
+
+    ``__slots__`` + the maintained ``running_count`` keep the scheduler
+    hot path (slot rounds walk every task of every active job) free of
+    per-call list builds and dict-backed attribute lookups.
+    """
+
+    __slots__ = (
+        "job",
+        "kind",
+        "index",
+        "block",
+        "attempts",
+        "completed",
+        "completed_at",
+        "winning_attempt",
+        "runnable_since",
+        "fault_reexec",
+        "shuffle_backlog",
+        "maps_pending",
+        "running_count",
+    )
 
     def __init__(
         self,
@@ -55,6 +76,10 @@ class Task:
         # host -> MB already waiting to be fetched
         self.shuffle_backlog: Dict[str, float] = {}
         self.maps_pending: int = 0
+        #: number of attempts with ``running=True``; maintained by
+        #: TaskAttempt lifecycle transitions so ``scheduled`` and the
+        #: schedulers' slot counts never scan the attempts list
+        self.running_count: int = 0
 
     @property
     def name(self) -> str:
@@ -66,7 +91,7 @@ class Task:
 
     @property
     def scheduled(self) -> bool:
-        return self.completed or bool(self.running_attempts)
+        return self.completed or self.running_count > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task({self.name!r}, done={self.completed})"
@@ -74,6 +99,37 @@ class Task:
 
 class TaskAttempt:
     """One execution of a task on a specific TaskTracker."""
+
+    __slots__ = (
+        "attempt_id",
+        "jt",
+        "sim",
+        "task",
+        "tracker",
+        "speculative",
+        "started_at",
+        "runnable_since",
+        "fault_reexec",
+        "finished_at",
+        "killed",
+        "running",
+        "_mem_mb",
+        "_handles",
+        "_progress_done",
+        "_stage_weights",
+        "_stage_index",
+        "_pending_fetch",
+        "_active_fetches",
+        "_maps_pending",
+        "_fetch_busy_s",
+        "_fetch_busy_since",
+        "_fetch_phase_over",
+        "_output_file",
+        "work_factor",
+        "_span",
+        "_stage_span",
+        "_stage_names",
+    )
 
     def __init__(
         self,
@@ -129,6 +185,8 @@ class TaskAttempt:
         self._stage_span = None
         self._stage_names: List[str] = []
         task.attempts.append(self)
+        task.running_count += 1
+        task.job.running_attempt_count += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -190,6 +248,8 @@ class TaskAttempt:
             return
         self.killed = True
         self.running = False
+        self.task.running_count -= 1
+        self.task.job.running_attempt_count -= 1
         self._note_fetch_activity()
         self.sim.obs.metrics.counter("attempts.killed").inc()
         self._close_spans("killed", reason=reason)
@@ -216,6 +276,8 @@ class TaskAttempt:
         if self.killed or not self.running:
             return
         self.running = False
+        self.task.running_count -= 1
+        self.task.job.running_attempt_count -= 1
         self.finished_at = self.sim.now
         metrics = self.sim.obs.metrics
         metrics.counter("attempts.completed").inc()
@@ -483,23 +545,31 @@ class TaskAttempt:
     def _pump_fetches(self) -> None:
         if self.killed or not self.running or self._fetch_phase_over:
             return
-        while (
-            self._active_fetches < self.jt.max_parallel_fetches
-            and self._pending_fetch
-        ):
-            host = max(self._pending_fetch, key=lambda h: (self._pending_fetch[h], h))
-            mb = self._pending_fetch.pop(host)
-            self._active_fetches += 1
-            # same-PM fetches become loopback flows inside the fabric
-            flow = self.jt.fabric.start_flow(
-                host,
-                self.tracker.context.host,
-                mb,
-                on_complete=lambda: self._fetch_done(),
-                efficiency=self.tracker.context.net_efficiency(),
-                label=f"{self.task.name}:shuffle",
-            )
-            self._track(flow)
+        fabric = self.jt.fabric
+        # one fabric fill for the whole pump burst, not one per fetch
+        fabric.begin_batch()
+        try:
+            while (
+                self._active_fetches < self.jt.max_parallel_fetches
+                and self._pending_fetch
+            ):
+                host = max(
+                    self._pending_fetch, key=lambda h: (self._pending_fetch[h], h)
+                )
+                mb = self._pending_fetch.pop(host)
+                self._active_fetches += 1
+                # same-PM fetches become loopback flows inside the fabric
+                flow = fabric.start_flow(
+                    host,
+                    self.tracker.context.host,
+                    mb,
+                    on_complete=lambda: self._fetch_done(),
+                    efficiency=self.tracker.context.net_efficiency(),
+                    label=f"{self.task.name}:shuffle",
+                )
+                self._track(flow)
+        finally:
+            fabric.end_batch()
         self._maybe_end_shuffle()
 
     def _fetch_done(self) -> None:

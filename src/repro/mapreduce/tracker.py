@@ -7,7 +7,7 @@ CPU-bound jobs more concurrency on multi-VM hosts.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.machine import ExecutionContext
 
@@ -16,7 +16,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class TaskTracker:
-    """One Hadoop worker node bound to an execution context."""
+    """One Hadoop worker node bound to an execution context.
+
+    Free-slot queries are counter-backed (maintained in assign/release)
+    rather than scans of the running list: the dispatcher calls them for
+    every tracker on every slot round, which is the scheduler hot path
+    at datacenter scale.
+    """
+
+    __slots__ = (
+        "context",
+        "map_slots",
+        "reduce_slots",
+        "running",
+        "alive",
+        "name",
+        "_running_maps",
+        "_running_reduces",
+        "_gauge",
+    )
 
     def __init__(
         self,
@@ -31,53 +49,64 @@ class TaskTracker:
         self.reduce_slots = reduce_slots
         self.running: List["TaskAttempt"] = []
         self.alive = True
-
-    @property
-    def name(self) -> str:
-        return f"tt-{self.context.name}"
+        self.name = f"tt-{context.name}"
+        self._running_maps = 0
+        self._running_reduces = 0
+        self._gauge: Optional[object] = None  # lazy: registry comes from sim
 
     @property
     def host(self) -> str:
         return self.context.host
 
     def _running_of(self, kind: "TaskKind") -> int:
-        return sum(1 for a in self.running if a.task.kind is kind)
+        from repro.mapreduce.task import TaskKind
+
+        return self._running_maps if kind is TaskKind.MAP else self._running_reduces
 
     def free_map_slots(self) -> int:
-        from repro.mapreduce.task import TaskKind
-
         if not self.alive:
             return 0
-        return self.map_slots - self._running_of(TaskKind.MAP)
+        return self.map_slots - self._running_maps
 
     def free_reduce_slots(self) -> int:
-        from repro.mapreduce.task import TaskKind
-
         if not self.alive:
             return 0
-        return self.reduce_slots - self._running_of(TaskKind.REDUCE)
+        return self.reduce_slots - self._running_reduces
 
     def assign(self, attempt: "TaskAttempt") -> None:
         from repro.mapreduce.task import TaskKind
 
-        free = (
-            self.free_map_slots()
-            if attempt.task.kind is TaskKind.MAP
-            else self.free_reduce_slots()
-        )
+        is_map = attempt.task.kind is TaskKind.MAP
+        free = self.free_map_slots() if is_map else self.free_reduce_slots()
         if free <= 0:
             raise RuntimeError(f"{self.name} has no free {attempt.task.kind.value} slot")
         self.running.append(attempt)
+        if is_map:
+            self._running_maps += 1
+        else:
+            self._running_reduces += 1
         metrics = attempt.sim.obs.metrics
         metrics.counter("slots.assignments").inc()
-        metrics.gauge(f"tracker.{self.name}.running").set(len(self.running))
+        gauge = self._gauge
+        if gauge is None:
+            gauge = self._gauge = metrics.gauge(f"tracker.{self.name}.running")
+        gauge.set(len(self.running))
 
     def release(self, attempt: "TaskAttempt") -> None:
+        from repro.mapreduce.task import TaskKind
+
         if attempt in self.running:
             self.running.remove(attempt)
-            attempt.sim.obs.metrics.gauge(
-                f"tracker.{self.name}.running"
-            ).set(len(self.running))
+            if attempt.task.kind is TaskKind.MAP:
+                self._running_maps -= 1
+            else:
+                self._running_reduces -= 1
+            gauge = self._gauge
+            if gauge is None:
+                gauge = self._gauge = attempt.sim.obs.metrics.gauge(
+                    f"tracker.{self.name}.running"
+                )
+            gauge.set(len(self.running))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskTracker({self.name!r}, running={len(self.running)})"

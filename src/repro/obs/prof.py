@@ -226,18 +226,26 @@ class Profiler:
 
     def sample_engine(self, sim) -> None:
         """Engine-health sample; the dispatch loop calls this on the
-        gauge cadence (reads only, never mutates)."""
-        depth = len(sim._queue)
-        ghosts = len(sim._ghosts)
+        gauge cadence (reads only, never mutates).  Queue internals come
+        from the backend-agnostic ``Simulator.queue_stats()`` surface,
+        so heap and calendar backends report through the same gauges
+        (calendar adds ``engine.buckets``/``engine.bucket_width``)."""
+        stats = sim.queue_stats()
+        depth = stats["depth"]
+        ghosts = stats["ghost_keys"]
+        tombstones = stats["tombstones"]
         self.gauge("engine.queue_depth", depth + ghosts)
-        self.gauge("engine.live_events", sim._live)
-        self.gauge("engine.tombstones", sim._tombstones)
+        self.gauge("engine.live_events", stats["live"])
+        self.gauge("engine.tombstones", tombstones)
         self.gauge("engine.ghost_keys", ghosts)
         total = depth + ghosts
         self.gauge(
             "engine.tombstone_ratio",
-            (sim._tombstones + ghosts) / total if total else 0.0,
+            (tombstones + ghosts) / total if total else 0.0,
         )
+        if "buckets" in stats:
+            self.gauge("engine.buckets", stats["buckets"])
+            self.gauge("engine.bucket_width", stats["bucket_width"])
         if self.trace_memory:
             self._sample_memory()
 

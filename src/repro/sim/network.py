@@ -34,11 +34,22 @@ must stay byte-identical (see docs/networking.md); stalled flows
 from __future__ import annotations
 
 import math
+import os
+from operator import attrgetter
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.engine import Event, Simulator
 
+try:  # optional extra: vectorized max-min fill (see maxmin_flow_rates_vec)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+if os.environ.get("REPRO_PURE_PYTHON"):  # force the scalar fill (CI exercises it)
+    _np = None
+
 _EPS = 1e-9
+
+_flow_seq = attrgetter("seq")
 
 
 class Flow:
@@ -194,67 +205,192 @@ def maxmin_flow_rates_fast(
     rates = [0.0] * n
     if n == 0:
         return rates
-    cap: Dict[tuple, float] = {}
-    users: Dict[tuple, List[int]] = {}
-    active_n: Dict[tuple, int] = {}
-    src_keys: List[tuple] = [None] * n  # per flow: (src, "up") key
-    dst_keys: List[tuple] = [None] * n  # per flow: (dst, "down") key
-    for i, flow in enumerate(flows):
-        src_key = (flow.src, "up")
-        dst_key = (flow.dst, "down")
-        src_keys[i] = src_key
-        dst_keys[i] = dst_key
-        flow_ids = users.get(src_key)
-        if flow_ids is None:
-            host_links = links[flow.src]
-            cap[src_key] = host_links.up * host_links.nic_scale
-            users[src_key] = [i]
-            active_n[src_key] = 1
-        else:
-            flow_ids.append(i)
-            active_n[src_key] += 1
-        flow_ids = users.get(dst_key)
-        if flow_ids is None:
-            host_links = links[flow.dst]
-            cap[dst_key] = host_links.down * host_links.nic_scale
-            users[dst_key] = [i]
-            active_n[dst_key] = 1
-        else:
-            flow_ids.append(i)
-            active_n[dst_key] += 1
+    cap, active_n, users, src_ids, dst_ids = _fill_arrays(flows, links)
     fixed = bytearray(n)
     remaining = n
+    n_links = len(cap)
+    link_range = range(n_links)
     while remaining:
-        best_key = None
+        best = -1
         best_share = math.inf
-        for key, count in active_n.items():
+        for k in link_range:
+            count = active_n[k]
             if count == 0:
                 continue
-            share = cap[key] / count
+            share = cap[k] / count
             if share < best_share - _EPS:
                 best_share = share
-                best_key = key
-        if best_key is None:
+                best = k
+        if best < 0:
             break
-        for i in users[best_key]:
+        for i in users[best]:
             if fixed[i]:
                 continue
             fixed[i] = 1
             remaining -= 1
             rates[i] = best_share
             # charge this flow's rate to its other link
-            key = src_keys[i]
-            if key != best_key:
-                residual = cap[key] - best_share
-                cap[key] = residual if residual > 0.0 else 0.0
-            active_n[key] -= 1
-            key = dst_keys[i]
-            if key != best_key:
-                residual = cap[key] - best_share
-                cap[key] = residual if residual > 0.0 else 0.0
-            active_n[key] -= 1
-        cap[best_key] = 0.0
+            k = src_ids[i]
+            if k != best:
+                residual = cap[k] - best_share
+                cap[k] = residual if residual > 0.0 else 0.0
+            active_n[k] -= 1
+            k = dst_ids[i]
+            if k != best:
+                residual = cap[k] - best_share
+                cap[k] = residual if residual > 0.0 else 0.0
+            active_n[k] -= 1
+        cap[best] = 0.0
     return rates
+
+
+def _fill_arrays(
+    flows: List[Flow], links: Dict[str, _HostLinks]
+) -> Tuple[List[float], List[int], List[List[int]], List[int], List[int]]:
+    """Integer-indexed link arrays for a progressive fill.
+
+    Link ids are assigned in first-occurrence order over the flow list
+    (src uplink before dst downlink per flow) -- exactly the dict
+    insertion order the reference iterates -- so an index-order scan of
+    these arrays visits links in the reference's tie-break order.
+    """
+    n = len(flows)
+    # per-direction string-keyed id maps: str hashes are cached by the
+    # interpreter, so this avoids a tuple allocation + combined hash per
+    # flow per fill (the setup is the hot half of small fills)
+    up_id: Dict[str, int] = {}
+    down_id: Dict[str, int] = {}
+    cap: List[float] = []
+    active_n: List[int] = []
+    users: List[List[int]] = []
+    src_ids: List[int] = [0] * n
+    dst_ids: List[int] = [0] * n
+    up_get = up_id.get
+    down_get = down_id.get
+    for i, flow in enumerate(flows):
+        host = flow.src
+        k = up_get(host)
+        if k is None:
+            k = up_id[host] = len(cap)
+            host_links = links[host]
+            cap.append(host_links.up * host_links.nic_scale)
+            active_n.append(1)
+            users.append([i])
+        else:
+            active_n[k] += 1
+            users[k].append(i)
+        src_ids[i] = k
+        host = flow.dst
+        k = down_get(host)
+        if k is None:
+            k = down_id[host] = len(cap)
+            host_links = links[host]
+            cap.append(host_links.down * host_links.nic_scale)
+            active_n.append(1)
+            users.append([i])
+        else:
+            active_n[k] += 1
+            users[k].append(i)
+        dst_ids[i] = k
+    return cap, active_n, users, src_ids, dst_ids
+
+
+def maxmin_flow_rates_vec(
+    flows: List[Flow], links: Dict[str, _HostLinks]
+) -> List[float]:
+    """Numpy-vectorized progressive filling, bit-identical to the fast
+    fill (and hence to the reference).
+
+    Per round, the most-constrained link is found with vectorized
+    share computation; the reference's sequential ``share < best - EPS``
+    first-wins scan is replayed exactly: when everything within the
+    epsilon band of the round minimum *is* the minimum bitwise (unique
+    minima and exact capacity ties -- the overwhelmingly common cases),
+    the scan provably selects the band's first index, and any genuine
+    sub-epsilon near-tie falls back to the literal scalar scan.  Fixing
+    a round's flows uses unbuffered ``np.subtract.at``, which applies
+    the same subtractions in the same per-link order as the reference;
+    deferring the clamp-at-zero to the end of the round is exact because
+    within a round no capacity is read after it is charged.
+
+    Falls back to :func:`maxmin_flow_rates_fast` when numpy is absent.
+    Worth its per-round constant only on big components -- callers gate
+    on :data:`VECTOR_MIN_FLOWS`.
+    """
+    if _np is None:  # pragma: no cover - exercised via REPRO_NO_NUMPY runs
+        return maxmin_flow_rates_fast(flows, links)
+    n = len(flows)
+    if n == 0:
+        return []
+    cap_l, active_l, users, src_l, dst_l = _fill_arrays(flows, links)
+    cap = _np.array(cap_l, dtype=_np.float64)
+    active = _np.array(active_l, dtype=_np.int64)
+    src_ids = _np.array(src_l, dtype=_np.int64)
+    dst_ids = _np.array(dst_l, dtype=_np.int64)
+    users_np: List[Optional[object]] = [None] * len(cap_l)
+    rates = _np.zeros(n, dtype=_np.float64)
+    fixed = _np.zeros(n, dtype=bool)
+    remaining = n
+    shares = _np.empty(len(cap_l), dtype=_np.float64)
+    while remaining:
+        shares.fill(_np.inf)
+        mask = active > 0
+        _np.divide(cap, active, out=shares, where=mask)
+        m = shares.min()
+        if not math.isfinite(m):
+            break
+        # the 2*EPS margin keeps float rounding in `best - EPS` from
+        # ever flipping the fast path's equivalence argument
+        band = _np.flatnonzero(shares <= m + 2.0 * _EPS)
+        if band.shape[0] == 1 or bool((shares[band] == m).all()):
+            best = int(band[0])
+            best_share = float(m)
+        else:
+            # sub-epsilon near-ties: replay the reference scan literally
+            best = -1
+            best_share = math.inf
+            shares_l = shares.tolist()
+            active_scan = active.tolist()
+            for k in range(len(shares_l)):
+                if active_scan[k] == 0:
+                    continue
+                share = shares_l[k]
+                if share < best_share - _EPS:
+                    best_share = share
+                    best = k
+            if best < 0:  # pragma: no cover - unreachable while flows remain
+                break
+        u = users_np[best]
+        if u is None:
+            u = users_np[best] = _np.array(users[best], dtype=_np.int64)
+        sel = u[~fixed[u]]
+        if sel.shape[0]:
+            rates[sel] = best_share
+            fixed[sel] = True
+            remaining -= int(sel.shape[0])
+            # each selected flow charges its *other* link (the one of
+            # its two links that is not the selected link)
+            others = src_ids[sel] + dst_ids[sel] - best
+            _np.subtract.at(cap, others, best_share)
+            _np.maximum(cap, 0.0, out=cap)
+            _np.subtract.at(active, others, 1)
+            active[best] -= sel.shape[0]
+        cap[best] = 0.0
+    return rates.tolist()
+
+
+#: components smaller than this use the scalar fill -- numpy's per-round
+#: constant only pays for itself on big components (LARGE scenarios)
+VECTOR_MIN_FLOWS = 192
+
+
+def maxmin_fill(flows: List[Flow], links: Dict[str, _HostLinks]) -> List[float]:
+    """Size-dispatched fill: vectorized for big components, scalar
+    otherwise.  Both paths are bit-identical, so the dispatch threshold
+    can never change results."""
+    if _np is not None and len(flows) >= VECTOR_MIN_FLOWS:
+        return maxmin_flow_rates_vec(flows, links)
+    return maxmin_flow_rates_fast(flows, links)
 
 
 class NetworkFabric:
@@ -279,6 +415,46 @@ class NetworkFabric:
         #: crossing the cut stall at rate 0 (TCP keeps retrying) until
         #: :meth:`heal_partition`; loopback flows are never cut.
         self._partition: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
+        #: reentrant batch depth: while > 0, start/cancel/capacity
+        #: mutations accumulate dirty marks and the closing fill runs
+        #: once at the outermost end_batch (see begin_batch)
+        self._batch_depth = 0
+        #: a capacity-shifting mutation happened inside the batch, so
+        #: the closing fill must be a full rebalance
+        self._batch_full = False
+
+    def begin_batch(self) -> None:
+        """Open a flow-mutation batch: one advance now, one fill at close.
+
+        Several flow starts/cancels inside a single simulation event each
+        trigger an identical-result rebalance today (no virtual time can
+        pass between them), so a shuffle pump starting a dozen fetches
+        pays a dozen fills for the price of one.  Between begin_batch and
+        the matching end_batch, mutations only update memberships and
+        dirty marks; the outermost end_batch runs the single closing fill
+        over the accumulated dirty component.  Rates are bit-identical to
+        the unbatched sequence: max-min allocations are a pure function
+        of the final membership, and the per-link arithmetic order the
+        progressive fill applies does not depend on how components are
+        grouped into fill calls.  Reentrant (nested batches no-op).
+        """
+        self._batch_depth += 1
+        if self._batch_depth == 1:
+            # depth is raised first: completion callbacks fired by this
+            # advance (and any batches they open) stay inside the batch
+            self._advance()
+
+    def end_batch(self) -> None:
+        """Close a batch; the outermost close runs the deferred fill."""
+        if self._batch_depth <= 0:
+            raise RuntimeError("end_batch without begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            if self._batch_full:
+                self._batch_full = False
+                self._rebalance_full()
+            else:
+                self._rebalance()
 
     def register_host(
         self,
@@ -305,9 +481,13 @@ class NetworkFabric:
         """Re-home a host to another co-location group (VM migration)."""
         if host not in self._links:
             raise KeyError(f"unknown host {host!r}")
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         self._links[host].group = group
-        self._rebalance_full()
+        if self._batch_depth:
+            self._batch_full = True
+        else:
+            self._rebalance_full()
 
     def colocated(self, a: str, b: str) -> bool:
         return a == b or self._links[a].group == self._links[b].group
@@ -326,10 +506,14 @@ class NetworkFabric:
             raise KeyError(f"unknown host {host!r}")
         if not 0.0 < scale <= 1.0:
             raise ValueError("nic scale must be in (0, 1]")
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         self._links[host].nic_scale = scale
         self.sim.obs.metrics.gauge(f"net.nic_scale.{host}").set(scale)
-        self._rebalance_full()
+        if self._batch_depth:
+            self._batch_full = True
+        else:
+            self._rebalance_full()
 
     def nic_scale(self, host: str) -> float:
         return self._links[host].nic_scale
@@ -350,18 +534,26 @@ class NetworkFabric:
                 raise KeyError(f"unknown host {host!r}")
         if self._partition is not None:
             raise RuntimeError("a partition is already active")
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         self._partition = (a, b)
         self.sim.obs.metrics.counter("net.partitions").inc()
-        self._rebalance_full()
+        if self._batch_depth:
+            self._batch_full = True
+        else:
+            self._rebalance_full()
 
     def heal_partition(self) -> None:
         """Remove the active partition (no-op when none is active)."""
         if self._partition is None:
             return
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         self._partition = None
-        self._rebalance_full()
+        if self._batch_depth:
+            self._batch_full = True
+        else:
+            self._rebalance_full()
 
     @property
     def partitioned(self) -> bool:
@@ -413,7 +605,8 @@ class NetworkFabric:
                 raise KeyError(f"unknown host {host!r}")
         if mb < 0:
             raise ValueError("flow size must be non-negative")
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         flow = Flow(src, dst, mb, on_complete, efficiency, label, self.sim.now)
         flow.seq = self._flow_seq = self._flow_seq + 1
         obs = self.sim.obs
@@ -423,7 +616,8 @@ class NetworkFabric:
             obs.metrics.counter("net.flows.completed").inc()
             if on_complete is not None:
                 self.sim.schedule(0.0, on_complete)
-            self._rebalance()
+            if self._batch_depth == 0:
+                self._rebalance()
             return flow
         if self.colocated(src, dst):
             flow.is_loopback = True
@@ -450,13 +644,15 @@ class NetworkFabric:
                 # on this transfer (blame: network virt share)
                 eff=efficiency,
             )
-        self._rebalance()
+        if self._batch_depth == 0:
+            self._rebalance()
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
         if flow.done:
             return
-        self._advance()
+        if self._batch_depth == 0:
+            self._advance()
         # _advance may itself have completed (and detached) the flow;
         # _detach tolerates that and the cancelled counter still ticks,
         # matching the historical fall-through semantics
@@ -468,7 +664,8 @@ class NetworkFabric:
         if flow.span is not None:
             obs.tracer.end(flow.span, cancelled=True, left_mb=flow.remaining)
             flow.span = None
-        self._rebalance()
+        if self._batch_depth == 0:
+            self._rebalance()
 
     @property
     def active_flows(self) -> int:
@@ -569,28 +766,31 @@ class NetworkFabric:
         """
         links = self._links
         found: Dict[Flow, None] = {}
-        stack = [key for key in seeds if key[1] != "loop"]
-        seen: Set[tuple] = set(stack)
-        while stack:
-            host, direction = stack.pop()
-            flowset = (
-                links[host].up_flows
-                if direction == "up"
-                else links[host].down_flows
-            )
+        # separate per-direction frontiers keyed by host string: same
+        # reachable set as the historical mixed (host, dir) stack, and
+        # the output is sorted by seq so walk order cannot leak
+        up_stack = [h for (h, d) in seeds if d == "up"]
+        down_stack = [h for (h, d) in seeds if d == "down"]
+        seen_up = set(up_stack)
+        seen_down = set(down_stack)
+        while up_stack or down_stack:
+            if up_stack:
+                flowset = links[up_stack.pop()].up_flows
+            else:
+                flowset = links[down_stack.pop()].down_flows
             for flow in flowset:
                 if flow in found:
                     continue
                 found[flow] = None
-                up_key = (flow.src, "up")
-                if up_key not in seen:
-                    seen.add(up_key)
-                    stack.append(up_key)
-                down_key = (flow.dst, "down")
-                if down_key not in seen:
-                    seen.add(down_key)
-                    stack.append(down_key)
-        return sorted(found, key=lambda f: f.seq)
+                src = flow.src
+                if src not in seen_up:
+                    seen_up.add(src)
+                    up_stack.append(src)
+                dst = flow.dst
+                if dst not in seen_down:
+                    seen_down.add(dst)
+                    down_stack.append(dst)
+        return sorted(found, key=_flow_seq)
 
     def _rebalance(self) -> None:
         """Incremental rebalance: re-fill only the touched component.
@@ -614,11 +814,11 @@ class NetworkFabric:
                     prof.gauge("net.rebalance_component_flows", len(component))
                     prof.push("net.maxmin_fill", subsystem="repro.sim.network")
                     try:
-                        rates = maxmin_flow_rates_fast(component, self._links)
+                        rates = maxmin_fill(component, self._links)
                     finally:
                         prof.pop()
                 else:
-                    rates = maxmin_flow_rates_fast(component, self._links)
+                    rates = maxmin_fill(component, self._links)
                 for flow, rate in zip(component, rates):
                     flow.rate = rate
             # loopback channels are per-source-host and share with
@@ -653,11 +853,11 @@ class NetworkFabric:
             prof.gauge("net.rebalance_full_flows", len(live))
             prof.push("net.maxmin_fill", subsystem="repro.sim.network")
             try:
-                rates = maxmin_flow_rates_fast(live, self._links)
+                rates = maxmin_fill(live, self._links)
             finally:
                 prof.pop()
         else:
-            rates = maxmin_flow_rates_fast(live, self._links)
+            rates = maxmin_fill(live, self._links)
         for flow, rate in zip(live, rates):
             flow.rate = rate
         # loopback flows share the per-host loopback channel equally
@@ -703,5 +903,8 @@ class NetworkFabric:
 
     def _tick(self) -> None:
         self._completion_event = None
-        self._advance()
-        self._rebalance()
+        # begin_batch advances (running the completion callbacks); any
+        # flows those callbacks start or cancel ride the single closing
+        # fill instead of each paying their own
+        self.begin_batch()
+        self.end_batch()

@@ -70,27 +70,45 @@ class PoolEntry:
         self.label = label
         self.total_done = 0.0
 
-    # -- mutators (all trigger a pool rebalance) -----------------------
+    # -- mutators (all trigger a pool rebalance, unless batched) -------
     def set_weight(self, weight: float) -> None:
         if weight < 0:
             raise ValueError("weight must be non-negative")
-        self.pool._advance()
+        pool = self.pool
+        if pool._in_batch:
+            if weight != self.weight:
+                self.weight = weight
+                pool._batch_dirty = True
+            return
+        pool._advance()
         self.weight = weight
-        self.pool._rebalance()
+        pool._rebalance()
 
     def set_cap(self, cap: float) -> None:
         if cap < 0:
             raise ValueError("cap must be non-negative")
-        self.pool._advance()
+        pool = self.pool
+        if pool._in_batch:
+            if cap != self.cap:
+                self.cap = cap
+                pool._batch_dirty = True
+            return
+        pool._advance()
         self.cap = cap
-        self.pool._rebalance()
+        pool._rebalance()
 
     def set_efficiency(self, efficiency: float) -> None:
         if not 0 < efficiency <= 1.0 + _EPS:
             raise ValueError("efficiency must be in (0, 1]")
-        self.pool._advance()
+        pool = self.pool
+        if pool._in_batch:
+            if efficiency != self.efficiency:
+                self.efficiency = efficiency
+                pool._batch_dirty = True
+            return
+        pool._advance()
         self.efficiency = efficiency
-        self.pool._rebalance()
+        pool._rebalance()
 
     def add_work(self, extra: float) -> None:
         """Append more work to an in-flight entry (e.g. streamed bytes)."""
@@ -135,11 +153,15 @@ def waterfill(capacity: float, weights: List[float], caps: List[float]) -> List[
     active = [i for i in range(n) if weights[i] > _EPS and caps[i] > _EPS]
     remaining = capacity
     while active:
-        total_w = sum(weights[i] for i in active)
+        total_w = 0.0
+        for i in active:
+            total_w += weights[i]
         if total_w <= _EPS:
             break
         per_w = remaining / total_w
-        capped = [i for i in active if caps[i] - rates[i] <= per_w * weights[i] + _EPS]
+        capped = [
+            i for i in active if caps[i] - rates[i] <= per_w * weights[i] + _EPS
+        ]
         if not capped:
             for i in active:
                 rates[i] += per_w * weights[i]
@@ -148,7 +170,10 @@ def waterfill(capacity: float, weights: List[float], caps: List[float]) -> List[
         for i in capped:
             remaining -= caps[i] - rates[i]
             rates[i] = caps[i]
-        active = [i for i in active if i not in set(capped)]
+        if len(capped) == len(active):
+            break
+        capped_set = set(capped)
+        active = [i for i in active if i not in capped_set]
         if remaining <= _EPS:
             break
     return rates
@@ -169,6 +194,12 @@ class ResourcePool:
         # integral of allocated rate over time, for utilization metrics
         self.busy_integral = 0.0
         self._created_at = sim.now
+        #: True while a begin_batch()/end_batch() parameter update is in
+        #: flight: entry mutators skip their per-call advance/rebalance
+        self._in_batch = False
+        #: something inside the current batch actually changed an input
+        #: of the allocation; a clean batch skips the closing rebalance
+        self._batch_dirty = False
 
     # ------------------------------------------------------------------
     # public API
@@ -223,6 +254,44 @@ class ResourcePool:
         self.capacity = capacity
         self._rebalance()
 
+    def begin_batch(self) -> None:
+        """Start a batched parameter update.
+
+        Applies accrued progress once, then lets ``set_weight`` /
+        ``set_cap`` / ``set_efficiency`` mutate entries without a
+        per-call advance/rebalance; :meth:`end_batch` recomputes rates
+        once for the whole round.  Refreshing a context with dozens of
+        in-flight entries this way costs one rebalance instead of
+        O(entries), which is what keeps 10k-host refresh storms flat.
+        No virtual time can pass inside a batch (the event loop is
+        single-threaded), so the final rates are what the per-call
+        discipline would have produced.
+        """
+        if self._in_batch:
+            raise RuntimeError(f"pool {self.name!r} is already in a batch")
+        self._batch_dirty = False
+        # order matters: completions fired by this advance free capacity,
+        # which _advance records by marking the batch dirty
+        self._advance()
+        self._in_batch = True
+
+    def end_batch(self) -> None:
+        """Finish a batched update: one rebalance for the round.
+
+        A *clean* batch -- every setter wrote back the value already in
+        place and no entry completed during the opening advance -- skips
+        the rebalance entirely: rates are a pure function of unchanged
+        inputs, and the already-scheduled completion event still points
+        at the right absolute instant (progress and deadline shrink in
+        lockstep while rates hold).
+        """
+        if not self._in_batch:
+            raise RuntimeError(f"pool {self.name!r} is not in a batch")
+        self._in_batch = False
+        if self._batch_dirty:
+            self._batch_dirty = False
+            self._rebalance()
+
     @property
     def total_rate(self) -> float:
         return sum(e.rate for e in self.entries)
@@ -255,18 +324,24 @@ class ResourcePool:
             return
         finished: List[PoolEntry] = []
         total = 0.0
+        inf = math.inf
         for entry in self.entries:
-            total += entry.rate
-            if entry.rate <= _EPS:
+            rate = entry.rate
+            total += rate
+            if rate <= _EPS:
                 continue
-            done = entry.rate * entry.efficiency * dt
-            if math.isfinite(entry.work_remaining):
+            done = rate * entry.efficiency * dt
+            if entry.work_remaining != inf:
                 entry.work_remaining = max(0.0, entry.work_remaining - done)
                 if entry.work_remaining <= _EPS:
                     finished.append(entry)
             entry.total_done += done
         self.busy_integral += total * dt
         self._last_update = now
+        if finished:
+            # membership is about to change: any enclosing batch must
+            # rebalance to redistribute the freed capacity
+            self._batch_dirty = True
         for entry in finished:
             if entry.done:
                 # a sibling's completion callback in this same batch
@@ -284,20 +359,47 @@ class ResourcePool:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        if not self.entries:
+        entries = self.entries
+        if not entries:
             return
-        rates = waterfill(
-            self.capacity,
-            [e.weight for e in self.entries],
-            [e.cap for e in self.entries],
-        )
         next_eta = math.inf
-        for entry, rate in zip(self.entries, rates):
+        if len(entries) == 1:
+            # single-entry fast path: the common case for per-task CPU
+            # and disk pools; same arithmetic as one waterfill round
+            entry = entries[0]
+            capacity = self.capacity
+            weight = entry.weight
+            cap = entry.cap
+            if capacity <= _EPS or weight <= _EPS or cap <= _EPS:
+                rate = 0.0
+            else:
+                share = (capacity / weight) * weight
+                rate = cap if cap <= share + _EPS else share
             entry.rate = rate
-            eta = entry.eta()
-            if eta < next_eta:
-                next_eta = eta
-        if math.isfinite(next_eta):
+            work = entry.work_remaining
+            if work <= _EPS:
+                next_eta = 0.0
+            else:
+                progress = rate * entry.efficiency
+                if progress > _EPS:
+                    next_eta = work / progress
+        else:
+            rates = waterfill(
+                self.capacity,
+                [e.weight for e in entries],
+                [e.cap for e in entries],
+            )
+            for entry, rate in zip(entries, rates):
+                entry.rate = rate
+                work = entry.work_remaining
+                if work <= _EPS:
+                    eta = 0.0
+                else:
+                    progress = rate * entry.efficiency
+                    eta = work / progress if progress > _EPS else math.inf
+                if eta < next_eta:
+                    next_eta = eta
+        if next_eta != math.inf:
             self._completion_event = self.sim.schedule(
                 max(0.0, next_eta), self._on_completion_tick
             )

@@ -30,6 +30,7 @@ _CELL_MODULES: Dict[str, str] = {
     "fabric": "repro.experiments.fabric_micro",
     "live": "repro.experiments.live",
     "zoo": "repro.experiments.zoo",
+    "scale-smoke": "repro.experiments.scale_smoke",
 }
 
 #: convenience aliases (sub-figure spellings, bare numbers)
@@ -40,6 +41,7 @@ _ALIASES: Dict[str, str] = {
     "fabric-micro": "fabric", "fabric_micro": "fabric", "net": "fabric",
     "live-driver": "live", "streaming": "live",
     "scheduler-zoo": "zoo", "schedulers": "zoo",
+    "scale_smoke": "scale-smoke", "scale": "scale-smoke",
 }
 
 

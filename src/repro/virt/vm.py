@@ -131,41 +131,68 @@ class VirtualMachine(ExecutionContext):
         return entry
 
     def refresh_entries(self) -> None:
-        """Recompute caps, weights and efficiencies for in-flight work."""
+        """Recompute caps, weights and efficiencies for in-flight work.
+
+        Runs as one batched update per pool (see
+        :meth:`~repro.sim.pool.ResourcePool.begin_batch`): the whole
+        refresh costs one rebalance per touched pool instead of three
+        per entry.
+        """
         self._cpu_entries[:] = [e for e in self._cpu_entries if not e.done]
         self._disk_entries[:] = [e for e in self._disk_entries if not e.done]
+        self._memio_entries[:] = [e for e in self._memio_entries if not e.done]
         live = {id(e) for e in self._cpu_entries} | {id(e) for e in self._disk_entries}
         self._requested_caps = {
             k: v for k, v in self._requested_caps.items() if k in live
         }
-        cpu_eff = self._combined_cpu_eff()
-        n_cpu = max(1, len(self._cpu_entries))
-        cpu_share = self.spec.cpu_cores * self.cpu_fraction / n_cpu
-        for entry in self._cpu_entries:
-            requested = self._requested_caps.get(id(entry), 1.0)
-            entry.set_cap(0.0 if self.paused else min(requested, max(cpu_share, 1e-6)))
-            entry.set_weight(self.vm_weight / n_cpu)
-            entry.set_efficiency(cpu_eff)
-        base_disk_eff = self.disk_efficiency() * self.degrade_disk_factor
-        live_disk = {id(e) for e in self._disk_entries}
-        self._disk_penalties = {
-            k: v for k, v in self._disk_penalties.items() if k in live_disk
-        }
-        n_disk = max(1, len(self._disk_entries))
-        for entry in self._disk_entries:
-            requested = self._requested_caps.get(id(entry), math.inf)
-            if self.paused:
-                entry.set_cap(0.0)
-            elif self.io_limit_mbps is not None:
-                entry.set_cap(min(requested, max(self.io_limit_mbps / n_disk, 1e-6)))
-            else:
-                entry.set_cap(requested)
-            entry.set_weight(self.io_weight / n_disk)
-            penalty = self._disk_penalties.get(id(entry), 0.0)
-            entry.set_efficiency(max(0.05, base_disk_eff - penalty))
-        self._memio_entries[:] = [e for e in self._memio_entries if not e.done]
-        for entry in self._memio_entries:
-            entry.set_cap(0.0 if self.paused else math.inf)
+        pools = []
+        if self._cpu_entries:
+            pools.append(self._pm.cpu_pool)
+        if self._disk_entries:
+            pools.append(self._pm.disk_pool)
+        if self._memio_entries:
+            pools.append(self._pm.memio_pool)
+        for pool in pools:
+            pool.begin_batch()
+        try:
+            if self._cpu_entries:
+                cpu_eff = self._combined_cpu_eff()
+                n_cpu = len(self._cpu_entries)
+                cpu_share = self.spec.cpu_cores * self.cpu_fraction / n_cpu
+                cpu_weight = self.vm_weight / n_cpu
+                for entry in self._cpu_entries:
+                    requested = self._requested_caps.get(id(entry), 1.0)
+                    entry.set_cap(
+                        0.0 if self.paused else min(requested, max(cpu_share, 1e-6))
+                    )
+                    entry.set_weight(cpu_weight)
+                    entry.set_efficiency(cpu_eff)
+            live_disk = {id(e) for e in self._disk_entries}
+            self._disk_penalties = {
+                k: v for k, v in self._disk_penalties.items() if k in live_disk
+            }
+            if self._disk_entries:
+                base_disk_eff = self.disk_efficiency() * self.degrade_disk_factor
+                n_disk = len(self._disk_entries)
+                disk_weight = self.io_weight / n_disk
+                for entry in self._disk_entries:
+                    requested = self._requested_caps.get(id(entry), math.inf)
+                    if self.paused:
+                        entry.set_cap(0.0)
+                    elif self.io_limit_mbps is not None:
+                        entry.set_cap(
+                            min(requested, max(self.io_limit_mbps / n_disk, 1e-6))
+                        )
+                    else:
+                        entry.set_cap(requested)
+                    entry.set_weight(disk_weight)
+                    penalty = self._disk_penalties.get(id(entry), 0.0)
+                    entry.set_efficiency(max(0.05, base_disk_eff - penalty))
+            for entry in self._memio_entries:
+                entry.set_cap(0.0 if self.paused else math.inf)
+        finally:
+            for pool in pools:
+                pool.end_batch()
 
     def update_requested_cap(self, entry: PoolEntry, cap: float) -> None:
         """Change the rate ceiling an in-flight entry asked for.
@@ -177,6 +204,18 @@ class VirtualMachine(ExecutionContext):
         if cap < 0:
             raise ValueError("cap must be non-negative")
         self._requested_caps[id(entry)] = cap
+        self.refresh_entries()
+
+    def update_requested_caps(self, updates) -> None:
+        """Batched :meth:`update_requested_cap`: write every ``(entry,
+        cap)`` pair, then refresh once.  The interactive probe/settle
+        loops adjust two entries per VM per epoch; paying one refresh
+        instead of one per entry is what keeps wide service fleets off
+        the pool-rebalance hot path."""
+        for entry, cap in updates:
+            if cap < 0:
+                raise ValueError("cap must be non-negative")
+            self._requested_caps[id(entry)] = cap
         self.refresh_entries()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,237 @@
+"""Datacenter-scale event core: equivalence proofs.
+
+Three families of evidence that the fast paths cannot drift from the
+reference implementations:
+
+- the calendar queue pops in exactly the reference heap's
+  ``(time, priority, seq)`` order under adversarial schedules
+  (cancellations, recurrences, ghost keys, mid-run compaction);
+- the vectorized max-min fill is *bitwise* identical to both the
+  indexed fast path and the original per-link reference;
+- ``Simulator.step``'s single dispatch tail means accounting and
+  profiling runs replay the bare run event-for-event.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    _HostLinks,
+    maxmin_fill,
+    maxmin_flow_rates,
+    maxmin_flow_rates_fast,
+)
+
+
+# ----------------------------------------------------------------------
+# calendar queue vs reference heap: identical pop order
+# ----------------------------------------------------------------------
+def _run_scenario(queue: str, seed: int):
+    """Drive one randomized schedule on the given backend.
+
+    The RNG is consumed *inside callbacks*, so draws align across
+    backends only if pop order is identical -- any divergence cascades
+    into a loudly different trace rather than a near miss.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(queue=queue)
+    trace = []
+    live_events = []
+
+    def make(label: str, depth: int):
+        def cb() -> None:
+            trace.append((round(sim.now, 9), label))
+            roll = rng.random()
+            if roll < 0.35 and depth < 4:
+                # schedule more work from within a callback
+                for i in range(rng.randrange(1, 3)):
+                    live_events.append(
+                        sim.schedule(
+                            rng.uniform(0.0, 7.0),
+                            make(f"{label}.{i}", depth + 1),
+                            priority=rng.randrange(-2, 3),
+                        )
+                    )
+            elif roll < 0.55 and live_events:
+                # cancel a random pending event (tombstone/ghost source)
+                live_events.pop(rng.randrange(len(live_events))).cancel()
+            elif roll < 0.60:
+                # mid-run compaction must be invisible to pop order
+                sim._backend.compact()
+
+        return cb
+
+    for i in range(rng.randrange(5, 25)):
+        live_events.append(
+            sim.schedule(
+                rng.uniform(0.0, 10.0),
+                make(f"root{i}", 0),
+                priority=rng.randrange(-2, 3),
+            )
+        )
+    # exact-grid recurrences, one cancelled mid-run
+    cancels = [
+        sim.call_every(rng.uniform(0.5, 2.0), make(f"every{i}", 4), until=12.0)
+        for i in range(2)
+    ]
+    sim.schedule(rng.uniform(2.0, 6.0), lambda: cancels[0]())
+    # a same-(time, priority) collision: seq must break the tie
+    t = rng.uniform(1.0, 9.0)
+    for i in range(3):
+        sim.schedule_at(t, make(f"tie{i}", 4), priority=1)
+
+    # split the run so run(until)'s raw-head-peek semantics are hit too
+    sim.run(until=rng.uniform(2.0, 8.0))
+    sim._backend.compact()
+    sim.run(until=40.0)
+    return trace, sim.now, sim.events_processed, sim.queue_stats()
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_calendar_queue_matches_reference_heap(seed):
+    heap = _run_scenario("heap", seed)
+    calendar = _run_scenario("calendar", seed)
+    assert calendar[0] == heap[0], "pop order diverged"
+    assert calendar[1] == heap[1], "final clock diverged"
+    assert calendar[2] == heap[2], "events_processed diverged"
+    # both backends must agree the queue fully drained
+    assert heap[3]["live"] == 0
+    assert calendar[3]["live"] == 0
+
+
+def test_queue_stats_reports_backend():
+    assert Simulator(queue="heap").queue_stats()["backend"] == "heap"
+    stats = Simulator(queue="calendar").queue_stats()
+    assert stats["backend"] == "calendar"
+    assert "buckets" in stats and "bucket_width" in stats
+
+
+# ----------------------------------------------------------------------
+# vectorized max-min fill: bitwise identical to both references
+# ----------------------------------------------------------------------
+class _F:
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+
+
+def _random_topology(rng: random.Random):
+    n_hosts = rng.randrange(2, 9)
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    # a few shared capacity values so exact float ties actually occur
+    tie_pool = [rng.uniform(20.0, 2000.0) for _ in range(3)]
+    links = {}
+    for h in hosts:
+        up = rng.choice(tie_pool) if rng.random() < 0.6 else rng.uniform(20.0, 2000.0)
+        down = rng.choice(tie_pool) if rng.random() < 0.6 else rng.uniform(20.0, 2000.0)
+        link = _HostLinks(up, down, 2000.0, h)
+        if rng.random() < 0.3:
+            link.nic_scale = rng.choice([0.25, 0.5, 1.0])
+        links[h] = link
+    flows = []
+    for _ in range(rng.randrange(1, 120)):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(_F(src, dst))
+    return flows, links
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_vectorized_fill_bit_identical(seed):
+    from repro.sim import network
+
+    if network._np is None:
+        pytest.skip("numpy not installed; scalar fallback is the only path")
+    flows, links = _random_topology(random.Random(seed))
+    reference = maxmin_flow_rates(flows, links)
+    fast = maxmin_flow_rates_fast(flows, links)
+    vec = network.maxmin_flow_rates_vec(flows, links)
+    # bitwise: the fill feeds completion-event timestamps, so even 1-ulp
+    # drift would change digests between the scalar and numpy paths
+    assert fast == reference
+    assert vec == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_maxmin_fill_dispatcher_matches_reference(seed):
+    flows, links = _random_topology(random.Random(seed))
+    assert maxmin_fill(flows, links) == maxmin_flow_rates(flows, links)
+
+
+def test_maxmin_fill_scalar_fallback(monkeypatch):
+    """With numpy absent the dispatcher must stay on the indexed path."""
+    from repro.sim import network
+
+    monkeypatch.setattr(network, "_np", None)
+    flows, links = _random_topology(random.Random(7))
+    assert network.maxmin_fill(flows, links) == maxmin_flow_rates(flows, links)
+
+
+def test_vector_threshold_routes_large_fills():
+    from repro.sim import network
+
+    if network._np is None:
+        pytest.skip("numpy not installed")
+    rng = random.Random(11)
+    hosts = [f"h{i}" for i in range(40)]
+    links = {h: _HostLinks(100.0, 100.0, 2000.0, h) for h in hosts}
+    flows = []
+    while len(flows) < network.VECTOR_MIN_FLOWS + 8:
+        src, dst = rng.sample(hosts, 2)
+        flows.append(_F(src, dst))
+    assert network.maxmin_fill(flows, links) == maxmin_flow_rates(flows, links)
+
+
+# ----------------------------------------------------------------------
+# step(): one dispatch tail, instrumented runs replay the bare run
+# ----------------------------------------------------------------------
+def _instrumented_run(accounting: bool, profiling: bool, stepwise: bool):
+    sim = Simulator(queue="calendar")
+    if accounting:
+        sim.enable_event_accounting()
+    if profiling:
+        from repro.obs.prof import Profiler
+
+        sim.enable_profiling(Profiler(gauge_sample_every=16))
+    rng = random.Random(42)
+    trace = []
+
+    def make(label, depth):
+        def cb():
+            trace.append((round(sim.now, 9), label))
+            if depth < 3 and rng.random() < 0.4:
+                sim.schedule(rng.uniform(0.0, 3.0), make(label + "'", depth + 1))
+
+        return cb
+
+    for i in range(30):
+        sim.schedule(rng.uniform(0.0, 5.0), make(f"e{i}", 0), priority=i % 3)
+    if stepwise:
+        while sim.step():
+            pass
+    else:
+        sim.run()
+    return trace, sim.events_processed
+
+
+def test_step_dispatch_tail_identical_across_instrumentation():
+    """Regression for the duplicated step() dispatch tail: accounting
+    and profiling variants must process the identical event sequence
+    with identical ``events_processed`` -- via step() and run() both."""
+    baseline = _instrumented_run(accounting=False, profiling=False, stepwise=False)
+    for accounting in (False, True):
+        for profiling in (False, True):
+            for stepwise in (False, True):
+                got = _instrumented_run(accounting, profiling, stepwise)
+                assert got == baseline, (
+                    f"dispatch drift with accounting={accounting} "
+                    f"profiling={profiling} stepwise={stepwise}"
+                )

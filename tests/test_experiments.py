@@ -169,3 +169,29 @@ def test_fig11_hybrid_configs_beat_pure_extremes():
     mixed = next(r for r in results if r.n_native_pms and r.n_vms)
     pure = [r for r in results if not (r.n_native_pms and r.n_vms)]
     assert any(mixed.perf_per_energy > p.perf_per_energy for p in pure)
+
+
+def test_scale_smoke_cell_completes_with_bounded_wave():
+    from repro.experiments.common import LARGE, resolve_scale
+    from repro.experiments.scale_smoke import run
+
+    # datacenter scales resolve like any other
+    assert resolve_scale("large") is LARGE
+    assert LARGE.vms == 10_000
+    result = run(TINY, seed=1, num_maps=64, num_reducers=4)
+    assert result["hosts"] == TINY.vms
+    assert result["trackers"] == TINY.vms
+    assert result["maps"] == 64
+    assert result["makespan_s"] > 0
+    assert result["events"] > 0
+
+
+@pytest.mark.slow
+def test_scale_smoke_ten_thousand_hosts():
+    """The LARGE contract: a 10k-host cluster builds, schedules a full
+    wave across every tracker, and completes under the event budget."""
+    from repro.experiments.scale_smoke import run
+
+    result = run("large", seed=1, num_maps=1024, num_reducers=16)
+    assert result["hosts"] == 10_000
+    assert result["makespan_s"] > 0

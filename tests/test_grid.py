@@ -242,6 +242,40 @@ def test_streaming_stats_match_batch_statistics():
     assert stats.percentile(100.0) == max(values)
 
 
+def test_streaming_stats_small_n_exact_pinned():
+    """Below the handoff threshold, percentiles are *exact* -- pinned
+    against hand-computed linear interpolation."""
+    stats = StreamingStats()
+    for v in (10.0, 20.0, 30.0, 40.0):
+        stats.push(v)
+    assert stats.snapshot() == {"n": 4, "mean": 25.0, "p50": 25.0, "p95": 38.5}
+
+
+def test_streaming_stats_bounded_past_handoff():
+    """Past EXACT_SAMPLE_MAX the sorted buffer is dropped (O(1) memory,
+    no more O(n) insort) while min/max stay exact and p50/p95 track the
+    true quantiles via the P^2 estimators."""
+    import random
+
+    from repro.grid.progress import EXACT_SAMPLE_MAX
+
+    rng = random.Random(3)
+    stats = StreamingStats()
+    values = [rng.uniform(0.0, 100.0) for _ in range(20_000)]
+    for v in values:
+        stats.push(v)
+    assert stats._sorted == []  # exact buffer released at the handoff
+    assert stats.n == 20_000 > EXACT_SAMPLE_MAX
+    assert stats.mean == pytest.approx(statistics.fmean(values))
+    values.sort()
+    assert stats.percentile(0.0) == values[0]
+    assert stats.percentile(100.0) == values[-1]
+    assert stats.percentile(50.0) == pytest.approx(values[10_000], abs=2.0)
+    assert stats.percentile(95.0) == pytest.approx(values[19_000], abs=2.0)
+    with pytest.raises(ValueError):
+        stats.percentile(75.0)
+
+
 def test_grid_progress_frames_accumulate_groups():
     frames = []
     progress = GridProgress("study", total_cells=2, sink=frames.append)

@@ -70,19 +70,13 @@ def test_capacity_default_share_validation():
     assert CapacityScheduler({"a": 0.5}, default_share=0.2).default_share == 0.2
 
 
-class _FakeTask:
-    """Just enough Task surface for running_task_counts."""
-
-    def __init__(self, n_running: int) -> None:
-        self.running_attempts = [object()] * n_running
-
-
 def _fake_job(job_id, name, submit=0.0, running=0):
     from repro.mapreduce.job import Job
 
     job = Job(job_id, make_job("Sort", input_gb=1, name=name), submit)
-    if running:
-        job.map_tasks.append(_FakeTask(running))
+    # running_task_counts reads the counter TaskAttempt transitions
+    # maintain; fakes set it directly
+    job.running_attempt_count = running
     return job
 
 

@@ -242,10 +242,12 @@ def test_compaction_reclaims_cancelled_heap_entries():
     for i, event in enumerate(events):
         if i % 10:
             event.cancel()
-    # cancelled entries outnumber live ones by far; the heap must have
-    # been rebuilt rather than carrying ~180 tombstones
+    # cancelled entries outnumber live ones by far; compaction must
+    # have reclaimed the Event objects (only bare ghost keys remain)
     assert sim.pending == len(survivors)
-    assert len(sim._queue) < 100
+    stats = sim.queue_stats()
+    assert stats["tombstones"] < 64  # compaction threshold
+    assert stats["ghost_keys"] >= 100
     fired = []
     for event in survivors:
         event.callback = lambda t=event.time: fired.append(t)
@@ -289,7 +291,8 @@ def test_run_until_head_tombstone_semantics_survive_compaction():
     sim.schedule(5.0, lambda: fired.append(sim.now))
     for event in doomed:
         event.cancel()  # triggers compaction: tombstones >> live
-    assert len(sim._queue) < 64  # most Event objects reclaimed...
+    stats = sim.queue_stats()
+    assert stats["tombstones"] < 64  # most Event objects reclaimed...
     sim.run(until=4.0)
     assert fired == [5.0]  # ...but the head peek still sees t=3.0
     assert sim.now == 5.0
